@@ -1,0 +1,147 @@
+// Benchmark harness: one target per experiment of the per-experiment index
+// in DESIGN.md (E1-E11). Each benchmark executes the experiment, prints its
+// table once, reports the headline metric, and fails on any guarantee
+// violation — so `go test -bench=. -benchmem` regenerates every evaluable
+// artifact of the paper in one run. Use -short for the quick sweeps.
+package hybrid_test
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	hybrid "repro"
+	"repro/internal/experiments"
+)
+
+const benchSeed = 20200615 // the paper's arXiv date
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string, f func(experiments.Config) experiments.Table) {
+	b.Helper()
+	cfg := experiments.Config{Seed: benchSeed, Quick: testing.Short()}
+	var table experiments.Table
+	for i := 0; i < b.N; i++ {
+		table = f(cfg)
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		fmt.Println(table.String())
+	}
+	for _, fail := range table.Failures {
+		b.Errorf("%s: %s", id, fail)
+	}
+	if rounds := lastRounds(table); rounds > 0 {
+		b.ReportMetric(rounds, "rounds")
+	}
+}
+
+// lastRounds pulls the last row's first integer-looking "rounds" column for
+// ReportMetric (best effort; the tables are the real output).
+func lastRounds(t experiments.Table) float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	for i, h := range t.Header {
+		if h == "rounds" || h == "thm1.1 rounds" || h == "HYBRID rounds" || h == "thm1.3 rounds" {
+			row := t.Rows[len(t.Rows)-1]
+			if i < len(row) {
+				if v, err := strconv.ParseFloat(row[i], 64); err == nil {
+					return v
+				}
+			}
+		}
+	}
+	return 0
+}
+
+func BenchmarkE1TokenRouting(b *testing.B) {
+	runExperiment(b, "E1", experiments.E1TokenRouting)
+}
+
+func BenchmarkE2HelperSets(b *testing.B) {
+	runExperiment(b, "E2", experiments.E2HelperSets)
+}
+
+func BenchmarkE3APSP(b *testing.B) {
+	runExperiment(b, "E3", experiments.E3APSP)
+}
+
+func BenchmarkE4CliqueSim(b *testing.B) {
+	runExperiment(b, "E4", experiments.E4CliqueSim)
+}
+
+func BenchmarkE5KSSP(b *testing.B) {
+	runExperiment(b, "E5", experiments.E5KSSP)
+}
+
+func BenchmarkE6SSSP(b *testing.B) {
+	runExperiment(b, "E6", experiments.E6SSSP)
+}
+
+func BenchmarkE7Diameter(b *testing.B) {
+	runExperiment(b, "E7", experiments.E7Diameter)
+}
+
+func BenchmarkE8KSSPLowerBound(b *testing.B) {
+	runExperiment(b, "E8", experiments.E8KSSPLowerBound)
+}
+
+func BenchmarkE9DiameterLowerBound(b *testing.B) {
+	runExperiment(b, "E9", experiments.E9DiameterLowerBound)
+}
+
+func BenchmarkE10RecvLoad(b *testing.B) {
+	runExperiment(b, "E10", experiments.E10RecvLoad)
+}
+
+func BenchmarkE11ModeComparison(b *testing.B) {
+	runExperiment(b, "E11", experiments.E11ModeComparison)
+}
+
+func BenchmarkA1HelperQBoost(b *testing.B) {
+	runExperiment(b, "A1", experiments.A1HelperQBoost)
+}
+
+func BenchmarkA2GlobalSendFactor(b *testing.B) {
+	runExperiment(b, "A2", experiments.A2GlobalSendFactor)
+}
+
+func BenchmarkA3SkeletonHFactor(b *testing.B) {
+	runExperiment(b, "A3", experiments.A3SkeletonHFactor)
+}
+
+func BenchmarkA4HashIndependence(b *testing.B) {
+	runExperiment(b, "A4", experiments.A4HashIndependence)
+}
+
+// BenchmarkFacadeAPSP measures the end-to-end wall-clock cost of the
+// public-API Theorem 1.1 pipeline on a mid-size graph (engine overhead
+// included), reporting the HYBRID round count as a metric.
+func BenchmarkFacadeAPSP(b *testing.B) {
+	g := hybrid.GridGraph(10, 10)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := hybrid.New(g, hybrid.WithSeed(benchSeed)).APSP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkFacadeDiameter measures the (3/2+eps) diameter pipeline.
+func BenchmarkFacadeDiameter(b *testing.B) {
+	g := hybrid.GridGraph(10, 10)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := hybrid.New(g, hybrid.WithSeed(benchSeed)).Diameter(hybrid.DiameterCor52, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}

@@ -1,0 +1,157 @@
+// Command hybridsim runs one HYBRID-model algorithm on one generated graph
+// and prints the result summary and cost metrics — the quickest way to poke
+// at the library from a shell.
+//
+// Usage examples:
+//
+//	hybridsim -graph grid -n 100 -algo apsp
+//	hybridsim -graph path -n 200 -algo sssp -source 0
+//	hybridsim -graph sparse -n 144 -algo diameter -variant cor53
+//	hybridsim -graph geometric -n 150 -algo kssp -k 5 -variant cor46
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	hybrid "repro"
+)
+
+func main() {
+	graphKind := flag.String("graph", "grid", "graph: grid|path|cycle|sparse|geometric|barbell")
+	n := flag.Int("n", 100, "number of nodes")
+	algo := flag.String("algo", "apsp", "algorithm: apsp|apsp-baseline|sssp|kssp|diameter")
+	variant := flag.String("variant", "cor52", "variant for kssp (cor46|cor47|cor48|mm) / diameter (cor52|cor53|mm)")
+	source := flag.Int("source", 0, "source node for sssp")
+	k := flag.Int("k", 3, "number of sources for kssp")
+	eps := flag.Float64("eps", 0.5, "epsilon for approximation variants")
+	seed := flag.Int64("seed", 1, "random seed")
+	maxW := flag.Int64("maxw", 1, "max edge weight (1 = unweighted)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *hybrid.Graph
+	switch *graphKind {
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = hybrid.GridGraph(side, side)
+	case "path":
+		g = hybrid.PathGraph(*n)
+	case "cycle":
+		g = hybrid.CycleGraph(*n)
+	case "sparse":
+		g = hybrid.SparseGraph(*n, 1.2, rng)
+	case "geometric":
+		g = hybrid.GeometricGraph(*n, 0.15, rng)
+	case "barbell":
+		g = hybrid.BarbellGraph(*n/3, *n/3)
+	default:
+		fatalf("unknown graph kind %q", *graphKind)
+	}
+	if *maxW > 1 {
+		g = hybrid.WithRandomWeights(g, *maxW, rng)
+	}
+	fmt.Printf("graph: %s, n=%d, m=%d, hop diameter=%d\n", *graphKind, g.N(), g.M(), hybrid.HopDiameter(g))
+
+	net := hybrid.New(g, hybrid.WithSeed(*seed))
+	switch *algo {
+	case "apsp", "apsp-baseline":
+		var res *hybrid.APSPResult
+		var err error
+		if *algo == "apsp" {
+			res, err = net.APSP()
+		} else {
+			res, err = net.APSPBaseline()
+		}
+		check(err)
+		verifyAPSP(g, res)
+		printMetrics(res.Metrics)
+	case "sssp":
+		res, err := net.SSSP(*source)
+		check(err)
+		want := hybrid.Dijkstra(g, *source)
+		bad := 0
+		for v := range res.Dist {
+			if res.Dist[v] != want[v] {
+				bad++
+			}
+		}
+		fmt.Printf("sssp from %d: %d/%d distances exact\n", *source, g.N()-bad, g.N())
+		printMetrics(res.Metrics)
+	case "kssp":
+		sources := make([]int, 0, *k)
+		for len(sources) < *k {
+			sources = append(sources, rng.Intn(g.N()))
+		}
+		v := map[string]hybrid.KSSPVariant{
+			"cor46": hybrid.VariantCor46, "cor47": hybrid.VariantCor47,
+			"cor48": hybrid.VariantCor48, "mm": hybrid.VariantRealMM,
+		}[*variant]
+		if v == 0 {
+			fatalf("unknown kssp variant %q", *variant)
+		}
+		res, err := net.KSSP(sources, v, *eps)
+		check(err)
+		worst := 1.0
+		for _, s := range sources {
+			want := hybrid.Dijkstra(g, s)
+			for u := 0; u < g.N(); u++ {
+				if want[u] > 0 {
+					if r := float64(res.Dist[u][s]) / float64(want[u]); r > worst {
+						worst = r
+					}
+				}
+			}
+		}
+		fmt.Printf("kssp %s with k=%d: worst approximation ratio %.3f\n", *variant, *k, worst)
+		printMetrics(res.Metrics)
+	case "diameter":
+		v := map[string]hybrid.DiameterVariant{
+			"cor52": hybrid.DiameterCor52, "cor53": hybrid.DiameterCor53, "mm": hybrid.DiameterRealMM,
+		}[*variant]
+		if v == 0 {
+			fatalf("unknown diameter variant %q", *variant)
+		}
+		res, err := net.Diameter(v, *eps)
+		check(err)
+		d := hybrid.HopDiameter(g)
+		fmt.Printf("diameter %s: estimate %d, true %d, ratio %.3f\n", *variant, res.Estimate, d, float64(res.Estimate)/float64(d))
+		printMetrics(res.Metrics)
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+}
+
+func verifyAPSP(g *hybrid.Graph, res *hybrid.APSPResult) {
+	want := hybrid.ExactAPSP(g)
+	bad := 0
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[u][v] != want[u][v] {
+				bad++
+			}
+		}
+	}
+	fmt.Printf("apsp: %d/%d pair distances exact\n", g.N()*g.N()-bad, g.N()*g.N())
+}
+
+func printMetrics(m hybrid.Metrics) {
+	fmt.Printf("rounds=%d globalMsgs=%d globalBits=%d localMsgs=%d maxSend=%d maxRecv=%d\n",
+		m.Rounds, m.GlobalMsgs, m.GlobalBits, m.LocalMsgs, m.MaxGlobalSend, m.MaxGlobalRecv)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

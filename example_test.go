@@ -1,0 +1,80 @@
+package hybrid_test
+
+import (
+	"fmt"
+	"log"
+
+	hybrid "repro"
+)
+
+// The headline result: exact all-pairs shortest paths in O~(sqrt n) HYBRID
+// rounds (Theorem 1.1).
+func ExampleNetwork_APSP() {
+	g := hybrid.GridGraph(6, 6)
+	net := hybrid.New(g, hybrid.WithSeed(1))
+	res, err := net.APSP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("corner to corner:", res.Dist[0][35])
+	// Output: corner to corner: 10
+}
+
+// Exact single-source shortest paths in O~(n^(2/5)) rounds (Theorem 1.3).
+func ExampleNetwork_SSSP() {
+	g := hybrid.PathGraph(30)
+	net := hybrid.New(g, hybrid.WithSeed(2))
+	res, err := net.SSSP(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("distance to far end:", res.Dist[29])
+	// Output: distance to far end: 29
+}
+
+// Diameter approximation (Theorem 1.4): small diameters resolve exactly
+// through the h-hat aggregation path of Equation (3).
+func ExampleNetwork_Diameter() {
+	g := hybrid.GridGraph(5, 5)
+	net := hybrid.New(g, hybrid.WithSeed(3))
+	res, err := net.Diameter(hybrid.DiameterCor52, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("estimate:", res.Estimate)
+	// Output: estimate: 8
+}
+
+// Forwarding tables from an APSP result — the paper's IP-routing
+// motivation.
+func ExampleNextHops() {
+	g := hybrid.PathGraph(4)
+	dist := hybrid.ExactAPSP(g)
+	tables := hybrid.NextHops(g, dist)
+	fmt.Println("node 0 toward node 3 via:", tables[0][3])
+	fmt.Println("route:", hybrid.FollowRoute(tables, 0, 3))
+	// Output:
+	// node 0 toward node 3 via: 1
+	// route: [0 1 2 3]
+}
+
+// The Figure 2 lower-bound family: the diameter of Γ encodes set
+// disjointness (Lemma 7.2 dichotomy).
+func ExampleGammaGraph() {
+	// Disjoint instance (all-zero inputs insert every red edge).
+	a := make([]bool, 4)
+	b := make([]bool, 4)
+	g, err := hybrid.GammaGraph(2, 3, 1, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("disjoint => D = l+1:", hybrid.HopDiameter(g))
+
+	// Intersecting instance: index 0 set on both sides.
+	a[0], b[0] = true, true
+	g2, _ := hybrid.GammaGraph(2, 3, 1, a, b)
+	fmt.Println("intersecting => D = l+2:", hybrid.HopDiameter(g2))
+	// Output:
+	// disjoint => D = l+1: 4
+	// intersecting => D = l+2: 5
+}

@@ -1,0 +1,334 @@
+// Package hybrid is a Go implementation of the HYBRID network model and of
+// the shortest-path and diameter algorithms of Kuhn & Schneider,
+// "Computing Shortest Paths and Diameter in the Hybrid Network Model"
+// (PODC 2020), built on the model of Augustine et al. (SODA 2020).
+//
+// The HYBRID model couples two communication modes over a node set
+// {0..n-1}: a LOCAL mode with unbounded bandwidth along the edges of a
+// local graph G, and an NCC-style global mode in which every node may send
+// O(log n) messages of O(log n) bits per round to arbitrary nodes. The
+// package runs real message-passing node programs (one goroutine per node,
+// synchronous round barrier) and reports the paper's cost measures: rounds,
+// global messages, per-round load.
+//
+// Results implemented (all exact/approximation guarantees are verified by
+// the test suite against sequential ground truth):
+//
+//   - Theorem 1.1: exact APSP in O~(sqrt n) rounds — Network.APSP.
+//   - The O~(n^(2/3)) APSP of Augustine et al. it improves on —
+//     Network.APSPBaseline.
+//   - Theorem 2.2: the token routing protocol — Network.RouteTokens.
+//   - Theorem 1.2 / Corollaries 4.6-4.8: approximate k-SSP — Network.KSSP.
+//   - Theorem 1.3 / Corollary 4.9: exact SSSP in O~(n^(2/5)) — Network.SSSP.
+//   - Theorem 1.4 / Corollaries 5.2-5.3: diameter approximation —
+//     Network.Diameter.
+//   - Theorems 1.5-1.6: the lower-bound constructions (Figures 1-2) with
+//     machine-checked dichotomy lemmas — see internal/lowerbound and the
+//     examples/lowerbound program.
+//
+// Quickstart:
+//
+//	g := hybrid.GridGraph(16, 16)
+//	net := hybrid.New(g, hybrid.WithSeed(1))
+//	res, err := net.APSP()
+//	// res.Dist[u][v] is the exact distance; res.Metrics.Rounds the cost.
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/clique"
+	"repro/internal/diameter"
+	"repro/internal/graph"
+	"repro/internal/hybridapsp"
+	"repro/internal/kssp"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Metrics is the per-run cost report (rounds, message counts, peak loads).
+type Metrics = sim.Metrics
+
+// Network wraps a local communication graph with run configuration.
+type Network struct {
+	g   *graph.Graph
+	cfg sim.Config
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed roots all of the run's randomness (fully reproducible runs).
+func WithSeed(seed int64) Option {
+	return func(nw *Network) { nw.cfg.Seed = seed }
+}
+
+// WithGlobalSendFactor scales the global-mode cap: each node may send
+// factor*ceil(log2 n) messages per round (default 1, the model's O(log n)).
+func WithGlobalSendFactor(factor int) Option {
+	return func(nw *Network) { nw.cfg.GlobalSendFactor = factor }
+}
+
+// WithMaxRounds overrides the runaway-guard round limit.
+func WithMaxRounds(r int) Option {
+	return func(nw *Network) { nw.cfg.MaxRounds = r }
+}
+
+// WithCut marks a node bipartition whose crossing global traffic is counted
+// in Metrics (used by the lower-bound experiments).
+func WithCut(cut []bool) Option {
+	return func(nw *Network) { nw.cfg.Cut = append([]bool(nil), cut...) }
+}
+
+// New creates a Network over g. The graph must be connected for the
+// paper's algorithms to have their guarantees; New does not copy g, and g
+// must not be mutated during runs.
+func New(g *graph.Graph, opts ...Option) *Network {
+	nw := &Network{g: g}
+	for _, o := range opts {
+		o(nw)
+	}
+	return nw
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.g.N() }
+
+// APSPResult holds a full distance matrix and the run's cost.
+type APSPResult struct {
+	// Dist[u][v] is the (exact) distance from u to v, Inf if unreachable.
+	Dist    [][]int64
+	Metrics Metrics
+}
+
+// APSP solves all-pairs shortest paths exactly in O~(sqrt n) rounds
+// (Theorem 1.1).
+func (nw *Network) APSP() (*APSPResult, error) {
+	return nw.runAPSP(func(env *sim.Env) []int64 {
+		return hybridapsp.Compute(env, hybridapsp.Params{})
+	})
+}
+
+// APSPBaseline solves APSP exactly with the O~(n^(2/3)) algorithm of
+// Augustine et al. (SODA '20) that Theorem 1.1 improves on.
+func (nw *Network) APSPBaseline() (*APSPResult, error) {
+	return nw.runAPSP(func(env *sim.Env) []int64 {
+		return hybridapsp.BaselineCompute(env, hybridapsp.Params{})
+	})
+}
+
+// APSPLocalOnly solves APSP using only the local mode, flooding for the
+// given number of rounds (exact iff rounds >= hop diameter) — the Θ(D)
+// LOCAL baseline of the paper's §1.
+func (nw *Network) APSPLocalOnly(rounds int) (*APSPResult, error) {
+	return nw.runAPSP(func(env *sim.Env) []int64 {
+		return hybridapsp.LocalCompute(env, rounds)
+	})
+}
+
+func (nw *Network) runAPSP(f func(*sim.Env) []int64) (*APSPResult, error) {
+	out := make([][]int64, nw.g.N())
+	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
+		out[env.ID()] = f(env)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &APSPResult{Dist: out, Metrics: m}, nil
+}
+
+// KSSPVariant selects the CLIQUE algorithm plugged into the Theorem 4.1
+// framework.
+type KSSPVariant int
+
+// The k-SSP variants of Theorem 1.2 plus the real-message instantiations.
+const (
+	// VariantCor46 is Corollary 4.6: (3+ε) weighted / (1+ε) unweighted in
+	// O~(n^(1/3)/ε) for up to n^(1/3) sources (declared-cost oracle).
+	VariantCor46 KSSPVariant = iota + 1
+	// VariantCor47 is Corollary 4.7: (7+ε) weighted / (2+ε) unweighted in
+	// O~(n^(1/3)/ε + sqrt k) for arbitrary k (declared-cost oracle).
+	VariantCor47
+	// VariantCor48 is Corollary 4.8: (3+o(1)) weighted in O~(n^0.397+sqrt k)
+	// (declared-cost oracle at δ = ρ).
+	VariantCor48
+	// VariantRealMM runs the semiring matrix-multiplication APSP with real
+	// messages (δ = 1/3, exact on the skeleton): factor 3 weighted.
+	VariantRealMM
+)
+
+// KSSPResult holds per-node estimated distances to each source.
+type KSSPResult struct {
+	// Dist[v][source] is node v's estimate d~(v, source).
+	Dist    []map[int]int64
+	Sources []int
+	Metrics Metrics
+}
+
+// KSSP solves the k-source shortest paths problem approximately
+// (Theorem 1.2). eps tunes the (1+ε)-style knobs; guarantee depends on the
+// variant (see the constants).
+func (nw *Network) KSSP(sources []int, variant KSSPVariant, eps float64) (*KSSPResult, error) {
+	if eps <= 0 {
+		eps = 0.5
+	}
+	var spec kssp.AlgSpec
+	switch variant {
+	case VariantCor46:
+		spec = kssp.Corollary46(eps, 0)
+	case VariantCor47:
+		spec = kssp.Corollary47(eps, 0)
+	case VariantCor48:
+		spec = kssp.Corollary48(eps, 0)
+	case VariantRealMM:
+		spec = kssp.RealMM(1 / eps)
+	default:
+		return nil, fmt.Errorf("hybrid: unknown k-SSP variant %d", variant)
+	}
+	return nw.runKSSP(sources, spec)
+}
+
+// SSSPResult holds per-node exact distances to the single source.
+type SSSPResult struct {
+	Source  int
+	Dist    []int64
+	Metrics Metrics
+}
+
+// SSSP solves single-source shortest paths exactly in O~(n^(2/5)) rounds
+// (Theorem 1.3 / Corollary 4.9).
+func (nw *Network) SSSP(source int) (*SSSPResult, error) {
+	if source < 0 || source >= nw.g.N() {
+		return nil, fmt.Errorf("hybrid: source %d out of range", source)
+	}
+	res, err := nw.runKSSP([]int{source}, kssp.Corollary49())
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]int64, nw.g.N())
+	for v := range dist {
+		dist[v] = res.Dist[v][source]
+	}
+	return &SSSPResult{Source: source, Dist: dist, Metrics: res.Metrics}, nil
+}
+
+func (nw *Network) runKSSP(sources []int, spec kssp.AlgSpec) (*KSSPResult, error) {
+	n := nw.g.N()
+	isSource := make([]bool, n)
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("hybrid: source %d out of range", s)
+		}
+		isSource[s] = true
+	}
+	out := make([]map[int]int64, n)
+	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
+		res := kssp.Compute(env, isSource[env.ID()], len(sources), spec, kssp.Params{})
+		mp := make(map[int]int64, len(res))
+		for _, sd := range res {
+			mp[sd.Source] = sd.Dist
+		}
+		out[env.ID()] = mp
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KSSPResult{Dist: out, Sources: append([]int(nil), sources...), Metrics: m}, nil
+}
+
+// DiameterVariant selects the CLIQUE diameter algorithm of Theorem 1.4.
+type DiameterVariant int
+
+// The diameter variants.
+const (
+	// DiameterCor52 is Corollary 5.2: (3/2+ε)-approximation in
+	// O~(n^(1/3)/ε) (declared-cost oracle).
+	DiameterCor52 DiameterVariant = iota + 1
+	// DiameterCor53 is Corollary 5.3: (1+ε)-approximation in O~(n^0.397/ε)
+	// (declared-cost oracle at δ = ρ).
+	DiameterCor53
+	// DiameterRealMM computes the exact skeleton diameter with real
+	// messages (δ = 1/3): a (1+2/η)-approximation end to end.
+	DiameterRealMM
+)
+
+// DiameterResult holds the estimate every node agreed on.
+type DiameterResult struct {
+	Estimate int64
+	Metrics  Metrics
+}
+
+// Diameter estimates the hop diameter D(G) (Theorem 1.4) on unweighted
+// graphs: D <= Estimate <= (α+ε')·D per the chosen variant.
+func (nw *Network) Diameter(variant DiameterVariant, eps float64) (*DiameterResult, error) {
+	if eps <= 0 {
+		eps = 0.5
+	}
+	var spec diameter.AlgSpec
+	switch variant {
+	case DiameterCor52:
+		spec = diameter.Corollary52(eps, 0)
+	case DiameterCor53:
+		spec = diameter.Corollary53(eps, 0)
+	case DiameterRealMM:
+		spec = diameter.RealMM(1 / eps)
+	default:
+		return nil, fmt.Errorf("hybrid: unknown diameter variant %d", variant)
+	}
+	out := make([]int64, nw.g.N())
+	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
+		out[env.ID()] = diameter.Compute(env, spec, diameter.Params{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v < len(out); v++ {
+		if out[v] != out[0] {
+			return nil, fmt.Errorf("hybrid: nodes disagree on diameter estimate (%d vs %d)", out[v], out[0])
+		}
+	}
+	return &DiameterResult{Estimate: out[0], Metrics: m}, nil
+}
+
+// WeightedDiameterApprox computes a factor-2 approximation of the WEIGHTED
+// diameter max d(u,v) via one exact SSSP run plus eccentricity doubling —
+// the O~(n^(1/3))-class upper bound the paper notes in §1.1 (footnote 6).
+// D_w <= Estimate <= 2·D_w.
+func (nw *Network) WeightedDiameterApprox() (*DiameterResult, error) {
+	out := make([]int64, nw.g.N())
+	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
+		out[env.ID()] = diameter.WeightedApprox(env, kssp.Corollary49(), kssp.Params{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v := 1; v < len(out); v++ {
+		if out[v] != out[0] {
+			return nil, fmt.Errorf("hybrid: nodes disagree on weighted diameter estimate")
+		}
+	}
+	return &DiameterResult{Estimate: out[0], Metrics: m}, nil
+}
+
+// TokenRouting exposes Theorem 2.2 directly: route the given tokens
+// (specs[v] is node v's view) and return each node's received tokens.
+func (nw *Network) TokenRouting(specs []routing.Spec) ([][]routing.Token, Metrics, error) {
+	if len(specs) != nw.g.N() {
+		return nil, Metrics{}, fmt.Errorf("hybrid: %d specs for %d nodes", len(specs), nw.g.N())
+	}
+	if err := routing.Validate(specs); err != nil {
+		return nil, Metrics{}, err
+	}
+	out := make([][]routing.Token, nw.g.N())
+	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
+		out[env.ID()] = routing.Route(env, specs[env.ID()], routing.Params{})
+	})
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return out, m, nil
+}
+
+// Ensure the facade's variants remain wired to implementations that expose
+// the interfaces they promise.
+var _ clique.Algorithm = (*clique.MM)(nil)

@@ -1,0 +1,222 @@
+// Package cliquesim simulates CLIQUE algorithms on skeleton graphs inside
+// the HYBRID model (paper Corollary 4.1 and Algorithm 8):
+//
+//	"Let S ⊆ V be obtained by sampling each node with probability 1/n^(1-x).
+//	 One round of the CLIQUE model can be simulated on S in
+//	 O~(n^(2x-1) + n^(x/2)) rounds w.h.p."
+//
+// The skeleton node set is first made public knowledge with a run of token
+// dissemination (O~(sqrt(|S|)) rounds, Lemma B.1), establishing a shared
+// index space 0..q-1. Then every CLIQUE round becomes one token routing
+// instance among the skeleton nodes, with the whole network serving as
+// helpers (Theorem 2.2). The simulated algorithms declare oblivious
+// communication schedules (package clique), which is how receivers know the
+// token labels they must expect — the all-to-all trick of Corollary 4.1
+// generalized to arbitrary data-independent patterns.
+package cliquesim
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/clique"
+	"repro/internal/graph"
+	"repro/internal/ncc"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// Factory builds the CLIQUE algorithm once the skeleton is public
+// knowledge: q is the skeleton size and members the sorted skeleton node
+// IDs (clique index i = members[i]). It must be deterministic in its
+// arguments: every node calls it and must arrive at an identical algorithm
+// (schedules are public knowledge).
+type Factory func(q int, members []int) clique.Algorithm
+
+// SharedFactory wraps a factory so that all nodes of one run share a single
+// algorithm instance. Required for clique.Oracle (whose nodes pool their
+// inputs) and a useful optimization for MM (the schedule is computed once).
+func SharedFactory(f Factory) Factory {
+	var once sync.Once
+	var inst clique.Algorithm
+	return func(q int, members []int) clique.Algorithm {
+		once.Do(func() { inst = f(q, members) })
+		return inst
+	}
+}
+
+// Result is what one node knows after Simulate.
+type Result struct {
+	// Members lists the skeleton node IDs, sorted; clique index i is
+	// Members[i]. Known by every node (public knowledge).
+	Members []int
+	// Index is this node's clique index, -1 if not a skeleton node.
+	Index int
+	// Node is this node's finished CLIQUE node state (nil unless a member).
+	Node clique.Node
+	// Alg is the algorithm instance (for reading Sources() etc.).
+	Alg clique.Algorithm
+}
+
+// Simulate runs the CLIQUE algorithm produced by factory on the skeleton
+// members, collectively. skel is this node's skeleton view (from
+// skeleton.Compute); sampleProb the sampling probability (it determines the
+// helper parameter µ = min(sqrt(k), 1/p) of the routing session).
+func Simulate(env *sim.Env, skel skeleton.Result, sampleProb float64, factory Factory) Result {
+	// Establish the shared index space: count members exactly, then make
+	// the member list public knowledge (Corollary 4.1's dissemination run).
+	inS := int64(0)
+	if skel.InSkeleton {
+		inS = 1
+	}
+	count := int(ncc.Aggregate(env, inS, ncc.AggSum))
+	var mine []ncc.Token
+	if skel.InSkeleton {
+		mine = append(mine, ncc.Token{A: int64(env.ID())})
+	}
+	memberTokens := ncc.Disseminate(env, mine, count, 1, ncc.DisseminateParams{})
+	members := make([]int, 0, len(memberTokens))
+	for _, t := range memberTokens {
+		members = append(members, int(t.A))
+	}
+	sort.Ints(members)
+	q := len(members)
+	index := -1
+	for i, id := range members {
+		if id == env.ID() {
+			index = i
+		}
+	}
+
+	res := Result{Members: members, Index: index}
+	if q == 0 {
+		return res
+	}
+	alg := factory(q, members)
+	res.Alg = alg
+
+	// Routing session: senders = receivers = skeleton members; each CLIQUE
+	// round moves at most q messages = 2q tokens per member in each
+	// direction.
+	session := routing.NewSession(env, skel.InSkeleton, skel.InSkeleton,
+		2*q, 2*q, sampleProb, sampleProb, routing.Params{})
+
+	// Build this member's CLIQUE input: its incident skeleton edges
+	// translated to clique indices.
+	if index >= 0 {
+		adj := make([]graph.Neighbor, 0, len(skel.Near))
+		for i, id := range members {
+			if id == env.ID() {
+				continue
+			}
+			if d, ok := skel.Near[id]; ok {
+				adj = append(adj, graph.Neighbor{To: i, W: d})
+			}
+		}
+		res.Node = alg.NewNode(index, adj)
+	}
+
+	// Algorithm 8: simulate each CLIQUE round with one routing instance.
+	rounds := alg.Rounds()
+	for r := 0; r < rounds; r++ {
+		var send []routing.Token
+		var expect []routing.Label
+		if index >= 0 {
+			slots := alg.Schedule(r, index)
+			vals := res.Node.Send(r)
+			send = make([]routing.Token, 0, 2*len(slots))
+			for si, s := range slots {
+				dst := members[s.Dst]
+				send = append(send,
+					routing.Token{Label: routing.Label{S: env.ID(), R: dst, I: s.Tag * 2}, Value: vals[si].F0},
+					routing.Token{Label: routing.Label{S: env.ID(), R: dst, I: s.Tag*2 + 1}, Value: vals[si].F1},
+				)
+			}
+			// Receivers compute their expected labels from the public
+			// schedule of every sender.
+			for jp := 0; jp < q; jp++ {
+				if jp == index {
+					// Self-slots short-circuit below.
+					continue
+				}
+				for _, s := range alg.Schedule(r, jp) {
+					if s.Dst != index {
+						continue
+					}
+					src := members[jp]
+					expect = append(expect,
+						routing.Label{S: src, R: env.ID(), I: s.Tag * 2},
+						routing.Label{S: src, R: env.ID(), I: s.Tag*2 + 1},
+					)
+				}
+			}
+		}
+		// Self-addressed messages skip the network.
+		var selfIn []clique.Incoming
+		filtered := send[:0]
+		for _, t := range send {
+			if t.R == env.ID() {
+				if t.I%2 == 0 {
+					selfIn = append(selfIn, clique.Incoming{Src: index, Tag: t.I / 2, Val: clique.Value{F0: t.Value}})
+				} else if len(selfIn) > 0 {
+					selfIn[len(selfIn)-1].Val.F1 = t.Value
+				}
+				continue
+			}
+			filtered = append(filtered, t)
+		}
+		send = filtered
+
+		got := session.Route(send, expect)
+
+		if index >= 0 {
+			in := assemble(got, members, selfIn)
+			res.Node.Recv(r, in)
+		}
+	}
+	return res
+}
+
+// assemble pairs the two word-tokens of each message back into
+// clique.Incoming values, sorted by (Src, Tag).
+func assemble(got []routing.Token, members []int, selfIn []clique.Incoming) []clique.Incoming {
+	rank := make(map[int]int, len(members))
+	for i, id := range members {
+		rank[id] = i
+	}
+	type key struct {
+		src int
+		tag int64
+	}
+	vals := map[key]*clique.Value{}
+	for _, t := range got {
+		src, ok := rank[t.S]
+		if !ok {
+			continue
+		}
+		k := key{src: src, tag: t.I / 2}
+		v := vals[k]
+		if v == nil {
+			v = &clique.Value{}
+			vals[k] = v
+		}
+		if t.I%2 == 0 {
+			v.F0 = t.Value
+		} else {
+			v.F1 = t.Value
+		}
+	}
+	in := make([]clique.Incoming, 0, len(vals)+len(selfIn))
+	for k, v := range vals {
+		in = append(in, clique.Incoming{Src: k.src, Tag: k.tag, Val: *v})
+	}
+	in = append(in, selfIn...)
+	sort.Slice(in, func(x, y int) bool {
+		if in[x].Src != in[y].Src {
+			return in[x].Src < in[y].Src
+		}
+		return in[x].Tag < in[y].Tag
+	})
+	return in
+}

@@ -1,0 +1,185 @@
+// Package core catalogs the paper's results and maps each to the packages
+// implementing it and the experiment regenerating it. It is the repository's
+// self-description: tests assert that every theorem stays wired to an
+// implementation and an experiment, and cmd/benchtables' output refers back
+// to these IDs.
+package core
+
+// Kind classifies a result.
+type Kind int
+
+// Result kinds.
+const (
+	UpperBound Kind = iota + 1
+	LowerBound
+	Framework
+	Protocol
+)
+
+// Result is one catalogued claim of the paper.
+type Result struct {
+	// ID is the paper's numbering ("Theorem 1.1", "Lemma 7.1", ...).
+	ID string
+	// Kind classifies the claim.
+	Kind Kind
+	// Claim is the one-line statement.
+	Claim string
+	// Rounds is the round complexity in O~/Ω~ notation (empty for
+	// structural lemmas).
+	Rounds string
+	// Packages lists the implementing packages (repo-relative).
+	Packages []string
+	// Experiment is the regenerating experiment ID (E1-E11), empty if the
+	// claim is exercised only by unit tests.
+	Experiment string
+	// Substitution notes any DESIGN.md-documented substitution involved.
+	Substitution string
+}
+
+// Catalog returns the full result catalog, in paper order.
+func Catalog() []Result {
+	return []Result{
+		{
+			ID: "Theorem 2.2", Kind: Protocol,
+			Claim:      "token routing for sampled senders/receivers delivers K tokens",
+			Rounds:     "O~(K/n + sqrt(kS) + sqrt(kR))",
+			Packages:   []string{"internal/routing", "internal/helpers", "internal/ruling"},
+			Experiment: "E1",
+		},
+		{
+			ID: "Lemma 2.1", Kind: Protocol,
+			Claim:    "(2mu+1, 2mu*ceil(log n))-ruling set, deterministically",
+			Rounds:   "O(mu log n)",
+			Packages: []string{"internal/ruling"},
+		},
+		{
+			ID: "Lemma 2.2", Kind: Protocol,
+			Claim:      "helper-set families satisfying Definition 2.1",
+			Rounds:     "O(mu log n)",
+			Packages:   []string{"internal/helpers"},
+			Experiment: "E2",
+		},
+		{
+			ID: "Lemma 2.3 / D.2", Kind: Protocol,
+			Claim:      "hash-routed forwarding keeps per-round receive load O(log n) w.h.p.",
+			Packages:   []string{"internal/bitrand", "internal/routing"},
+			Experiment: "E10",
+		},
+		{
+			ID: "Theorem 1.1", Kind: UpperBound,
+			Claim:      "exact APSP in the HYBRID model",
+			Rounds:     "O~(sqrt n)",
+			Packages:   []string{"internal/hybridapsp"},
+			Experiment: "E3",
+		},
+		{
+			ID: "Corollary 4.1", Kind: Framework,
+			Claim:      "one CLIQUE round simulated on an n^x-node skeleton",
+			Rounds:     "O~(n^(x/2) + n^(2x-1))",
+			Packages:   []string{"internal/cliquesim", "internal/clique", "internal/skeleton"},
+			Experiment: "E4",
+		},
+		{
+			ID: "Theorem 4.1", Kind: Framework,
+			Claim:      "CLIQUE (alpha,beta)-k-SSP at O~(eta q^delta) becomes HYBRID k-SSP at O~(eta n^(1-x)), x = 2/(3+2delta)",
+			Packages:   []string{"internal/kssp"},
+			Experiment: "E5",
+		},
+		{
+			ID: "Theorem 1.2 / Corollaries 4.6-4.8", Kind: UpperBound,
+			Claim:        "k-SSP approximations: (3+eps)/(1+eps) at n^(1/3) sources, (7+eps)/(2+eps) any k, (3+o(1))/(1+eps) at n^0.397",
+			Rounds:       "O~(n^(1/3)/eps + sqrt k) etc.",
+			Packages:     []string{"internal/kssp", "internal/clique"},
+			Experiment:   "E5",
+			Substitution: "published CLIQUE algorithms of [7,8] run as declared-cost oracles; semiring MM (delta=1/3) runs with real messages",
+		},
+		{
+			ID: "Theorem 1.3 / Corollary 4.9", Kind: UpperBound,
+			Claim:        "exact SSSP",
+			Rounds:       "O~(n^(2/5))",
+			Packages:     []string{"internal/kssp"},
+			Experiment:   "E6",
+			Substitution: "the O~(q^(1/6)) exact CLIQUE SSSP of [7] runs as a declared-cost oracle; clique Bellman-Ford is the real-message variant",
+		},
+		{
+			ID: "Theorem 5.1", Kind: Framework,
+			Claim:      "CLIQUE diameter algorithm becomes HYBRID (alpha+2/eta+beta/TB)-approximation of unweighted D",
+			Packages:   []string{"internal/diameter"},
+			Experiment: "E7",
+		},
+		{
+			ID: "Theorem 1.4 / Corollaries 5.2-5.3", Kind: UpperBound,
+			Claim:      "diameter (3/2+eps) in O~(n^(1/3)/eps) and (1+eps) in O~(n^0.397/eps)",
+			Packages:   []string{"internal/diameter", "internal/clique"},
+			Experiment: "E7",
+		},
+		{
+			ID: "Theorem 1.5", Kind: LowerBound,
+			Claim:      "k-SSP needs Omega~(sqrt k) rounds, even alpha-approximate for alpha up to Theta(n/sqrt k)",
+			Rounds:     "Omega~(sqrt k)",
+			Packages:   []string{"internal/lowerbound"},
+			Experiment: "E8",
+		},
+		{
+			ID: "Lemma 7.1", Kind: LowerBound,
+			Claim:      "weighted Gamma diameter is W+2l iff DISJ(a,b), else >= 2W+l (W > l)",
+			Packages:   []string{"internal/lowerbound"},
+			Experiment: "E9",
+		},
+		{
+			ID: "Lemma 7.2", Kind: LowerBound,
+			Claim:      "unweighted Gamma diameter is l+1 iff DISJ(a,b), else l+2",
+			Packages:   []string{"internal/lowerbound"},
+			Experiment: "E9",
+		},
+		{
+			ID: "Theorem 1.6", Kind: LowerBound,
+			Claim:      "exact diameter needs Omega((n/log^2 n)^(1/3)) rounds; (2-eps)-approx of weighted diameter likewise",
+			Rounds:     "Omega~(n^(1/3))",
+			Packages:   []string{"internal/lowerbound", "internal/sim"},
+			Experiment: "E9",
+		},
+		{
+			ID: "Lemma B.1", Kind: Protocol,
+			Claim:      "token dissemination: k tokens, at most ell per node, to everyone",
+			Rounds:     "O~(sqrt k + ell)",
+			Packages:   []string{"internal/ncc"},
+			Experiment: "E11",
+		},
+		{
+			ID: "Lemma B.2", Kind: Protocol,
+			Claim:    "aggregate-distributive functions over the global network",
+			Rounds:   "O(log n)",
+			Packages: []string{"internal/ncc"},
+		},
+		{
+			ID: "Lemmas C.1-C.2", Kind: Protocol,
+			Claim:    "skeleton graphs: sampled nodes hit long shortest paths every h hops; S preserves distances",
+			Packages: []string{"internal/skeleton"},
+		},
+	}
+}
+
+// ByID returns the catalog entry with the given ID, or nil.
+func ByID(id string) *Result {
+	for _, r := range Catalog() {
+		if r.ID == id {
+			r := r
+			return &r
+		}
+	}
+	return nil
+}
+
+// Experiments returns the distinct experiment IDs referenced by the catalog.
+func Experiments() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range Catalog() {
+		if r.Experiment != "" && !seen[r.Experiment] {
+			seen[r.Experiment] = true
+			out = append(out, r.Experiment)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 15 {
+		t.Fatalf("catalog has %d entries; the paper has more results than that", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, r := range cat {
+		if r.ID == "" || r.Claim == "" {
+			t.Fatalf("entry %+v incomplete", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate entry %s", r.ID)
+		}
+		seen[r.ID] = true
+		if len(r.Packages) == 0 {
+			t.Fatalf("%s lists no implementing packages", r.ID)
+		}
+		if r.Kind == 0 {
+			t.Fatalf("%s has no kind", r.ID)
+		}
+	}
+	// The headline results must be present.
+	for _, id := range []string{"Theorem 1.1", "Theorem 1.2 / Corollaries 4.6-4.8",
+		"Theorem 1.3 / Corollary 4.9", "Theorem 1.4 / Corollaries 5.2-5.3",
+		"Theorem 1.5", "Theorem 1.6", "Theorem 2.2", "Theorem 4.1", "Theorem 5.1"} {
+		if !seen[id] {
+			t.Fatalf("catalog missing %s", id)
+		}
+	}
+}
+
+// TestPackagesExist keeps the catalog honest: every referenced package
+// directory must exist in the repository.
+func TestPackagesExist(t *testing.T) {
+	root := repoRoot(t)
+	for _, r := range Catalog() {
+		for _, pkg := range r.Packages {
+			dir := filepath.Join(root, pkg)
+			info, err := os.Stat(dir)
+			if err != nil || !info.IsDir() {
+				t.Fatalf("%s references missing package %s", r.ID, pkg)
+			}
+		}
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}
+
+func TestByID(t *testing.T) {
+	r := ByID("Theorem 1.1")
+	if r == nil {
+		t.Fatal("Theorem 1.1 missing")
+	}
+	if !strings.Contains(r.Claim, "APSP") {
+		t.Fatalf("Theorem 1.1 claim looks wrong: %s", r.Claim)
+	}
+	if ByID("Theorem 9.9") != nil {
+		t.Fatal("nonexistent ID should return nil")
+	}
+}
+
+func TestExperimentsReferenced(t *testing.T) {
+	exps := Experiments()
+	want := map[string]bool{"E1": true, "E3": true, "E5": true, "E6": true,
+		"E7": true, "E8": true, "E9": true, "E10": true}
+	got := map[string]bool{}
+	for _, e := range exps {
+		got[e] = true
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("no catalog entry references experiment %s", e)
+		}
+	}
+}
+
+func TestEveryUpperBoundHasExperiment(t *testing.T) {
+	for _, r := range Catalog() {
+		if r.Kind == UpperBound && r.Experiment == "" {
+			t.Fatalf("%s (upper bound) has no regenerating experiment", r.ID)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package helpers implements Algorithm 1 of the paper (Compute-Helpers):
+// given a set W ⊆ V (each node knows whether it belongs), build a family of
+// helper sets {H_w | w ∈ W} satisfying Definition 2.1:
+//
+//	(1) each H_w has size at least µ,
+//	(2) every helper is within O~(µ) hops of its w,
+//	(3) every node joins at most O~(1) helper sets.
+//
+// The construction follows §2.1: compute a (2µ+1, 2µ⌈log n⌉)-ruling set,
+// cluster every node with its closest ruler (ties to the smaller ID, which
+// keeps clusters connected), learn the full membership of the own cluster by
+// local flooding, then join H_w for every w ∈ W in the own cluster
+// independently with probability q = min(QBoost·2µ/|C|, 1).
+//
+// QBoost is a constant-factor tuning knob (paper: 1, i.e. q = 2µ/|C|; we
+// default to 2) — Lemma 2.2's w.h.p. guarantees are asymptotic, and the
+// boost makes property (1) hold robustly at the laptop-scale n the
+// experiment suite runs; it does not change any asymptotic cost because it
+// only scales E[|H_w|] and the O~(1) membership count by a constant.
+package helpers
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ruling"
+	"repro/internal/sim"
+)
+
+// clusterWave announces a ruler through the local network.
+type clusterWave struct {
+	Ruler int
+	Dist  int
+}
+
+// memberRec announces one cluster member during intra-cluster flooding.
+type memberRec struct {
+	ID    int
+	Ruler int
+	InW   bool
+}
+
+// Result is what one node knows after Compute finishes.
+type Result struct {
+	// Ruler is the ID of this node's cluster ruler; RulerDist its hop
+	// distance.
+	Ruler     int
+	RulerDist int
+	// Members lists all nodes of this cluster, sorted by ID.
+	Members []int
+	// WMembers lists the W-nodes of this cluster, sorted by ID.
+	WMembers []int
+	// Helps lists the w ∈ W whose helper set H_w this node joined, sorted.
+	Helps []int
+	// InW records the node's own membership in W.
+	InW bool
+	// Mu echoes the effective µ parameter.
+	Mu int
+}
+
+// Params tunes the constants.
+type Params struct {
+	// QBoost scales the join probability q = min(QBoost*2µ/|C|, 1).
+	// Zero means 2.
+	QBoost int
+}
+
+func (p Params) withDefaults() Params {
+	if p.QBoost <= 0 {
+		p.QBoost = 2
+	}
+	return p
+}
+
+// Rounds returns the exact round count of Compute for given n and µ:
+// the ruling set plus β rounds of cluster formation plus 2β rounds of
+// member flooding, β = 2µ⌈log n⌉ (matching Algorithm 1's loop bounds).
+func Rounds(n, mu int) int {
+	if mu < 1 {
+		mu = 1
+	}
+	beta := 2 * mu * sim.Log2Ceil(n)
+	return ruling.Rounds(n, mu) + beta + 2*beta
+}
+
+// Compute runs Algorithm 1 collectively. All nodes must call it in the same
+// round with the same µ and params; it takes exactly Rounds(n, µ) rounds and
+// uses only the local network.
+func Compute(env *sim.Env, inW bool, mu int, params Params) Result {
+	p := params.withDefaults()
+	if mu < 1 {
+		mu = 1
+	}
+	n := env.N()
+	beta := 2 * mu * sim.Log2Ceil(n)
+
+	isRuler := ruling.Compute(env, mu)
+
+	// Phase 2: cluster formation. Rulers start waves; every node tracks the
+	// lexicographically smallest (dist, rulerID) it has heard and forwards
+	// improvements. β rounds reach every node (domination radius).
+	bestDist, bestRuler := n+1, -1
+	if isRuler {
+		bestDist, bestRuler = 0, env.ID()
+	}
+	improved := isRuler
+	for step := 0; step < beta; step++ {
+		if improved {
+			env.BroadcastLocal(clusterWave{Ruler: bestRuler, Dist: bestDist})
+			improved = false
+		}
+		in := env.Step()
+		for _, lm := range in.Local {
+			w, ok := lm.Payload.(clusterWave)
+			if !ok {
+				continue
+			}
+			d := w.Dist + 1
+			if d < bestDist || (d == bestDist && w.Ruler < bestRuler) {
+				bestDist, bestRuler = d, w.Ruler
+				improved = true
+			}
+		}
+	}
+
+	// Phase 3: learn all members of the own cluster. Nodes flood records of
+	// their own cluster for 2β rounds (intra-cluster diameter bound).
+	known := map[int]memberRec{env.ID(): {ID: env.ID(), Ruler: bestRuler, InW: inW}}
+	delta := []memberRec{known[env.ID()]}
+	for step := 0; step < 2*beta; step++ {
+		if len(delta) > 0 {
+			env.BroadcastLocal(delta)
+		}
+		in := env.Step()
+		var next []memberRec
+		for _, lm := range in.Local {
+			recs, ok := lm.Payload.([]memberRec)
+			if !ok {
+				continue
+			}
+			for _, r := range recs {
+				if r.Ruler != bestRuler {
+					continue // other cluster, not ours to track or forward
+				}
+				if _, seen := known[r.ID]; !seen {
+					known[r.ID] = r
+					next = append(next, r)
+				}
+			}
+		}
+		delta = next
+	}
+
+	res := Result{
+		Ruler:     bestRuler,
+		RulerDist: bestDist,
+		InW:       inW,
+		Mu:        mu,
+	}
+	for id, r := range known {
+		res.Members = append(res.Members, id)
+		if r.InW {
+			res.WMembers = append(res.WMembers, id)
+		}
+	}
+	sort.Ints(res.Members)
+	sort.Ints(res.WMembers)
+
+	// Phase 4: sample helper memberships with q = min(QBoost*2µ/|C|, 1).
+	// Every w ∈ W additionally joins its own helper set deterministically:
+	// that guarantees H_w is never empty even when the w.h.p. sampling bound
+	// fails at small n, costs each node at most one extra membership, and
+	// keeps properties (1)-(3) intact (hop(w,w) = 0).
+	clusterSize := len(res.Members)
+	num := p.QBoost * 2 * mu
+	for _, w := range res.WMembers {
+		if w == env.ID() || num >= clusterSize || env.Rand().Intn(clusterSize) < num {
+			res.Helps = append(res.Helps, w)
+		}
+	}
+	return res
+}
+
+// CheckFamily verifies Definition 2.1 over a full set of per-node results
+// sequentially. results[v] is node v's Result; membership of node x in H_w
+// means w ∈ results[x].Helps. maxLoadFactor bounds property (3) as
+// |{w : x ∈ H_w}| <= maxLoadFactor * ceil(log2 n); radiusFactor bounds
+// property (2) as hop(w, x) <= radiusFactor * µ * ceil(log2 n).
+func CheckFamily(g *graph.Graph, results []Result, mu int, maxLoadFactor, radiusFactor int) error {
+	n := g.N()
+	if len(results) != n {
+		return fmt.Errorf("helpers: %d results for %d nodes", len(results), n)
+	}
+	logN := sim.Log2Ceil(n)
+
+	// Collect H_w from the per-node Helps lists.
+	hw := map[int][]int{}
+	for x := 0; x < n; x++ {
+		for _, w := range results[x].Helps {
+			hw[w] = append(hw[w], x)
+		}
+		if load := len(results[x].Helps); load > maxLoadFactor*logN {
+			return fmt.Errorf("helpers: node %d helps %d sets, cap %d (property 3)", x, load, maxLoadFactor*logN)
+		}
+	}
+	for w := 0; w < n; w++ {
+		if !results[w].InW {
+			if len(hw[w]) > 0 {
+				return fmt.Errorf("helpers: node %d not in W but has helpers", w)
+			}
+			continue
+		}
+		set := hw[w]
+		if len(set) < mu {
+			return fmt.Errorf("helpers: |H_%d| = %d < µ = %d (property 1)", w, len(set), mu)
+		}
+		d := graph.BFS(g, w)
+		for _, x := range set {
+			if d[x] > int64(radiusFactor*mu*logN) {
+				return fmt.Errorf("helpers: helper %d of %d is %d hops away, cap %d (property 2)",
+					x, w, d[x], radiusFactor*mu*logN)
+			}
+		}
+	}
+	return nil
+}
+
+// ClusterCheck verifies the clustering invariants: every node is assigned
+// the (dist, id)-lexicographically closest ruler and clusters have size at
+// least µ+1 when n > µ.
+func ClusterCheck(g *graph.Graph, results []Result, mu int) error {
+	n := g.N()
+	rulers := map[int]bool{}
+	for v := 0; v < n; v++ {
+		rulers[results[v].Ruler] = true
+	}
+	sizes := map[int]int{}
+	for v := 0; v < n; v++ {
+		sizes[results[v].Ruler]++
+	}
+	for r := range rulers {
+		if results[r].Ruler != r {
+			return fmt.Errorf("helpers: ruler %d assigned to cluster %d", r, results[r].Ruler)
+		}
+		if n > mu && sizes[r] < mu+1 {
+			return fmt.Errorf("helpers: cluster %d has %d members, want >= µ+1 = %d", r, sizes[r], mu+1)
+		}
+	}
+	for v := 0; v < n; v++ {
+		d := graph.BFS(g, v)
+		bestDist, bestRuler := int64(n+1), -1
+		for r := range rulers {
+			if d[r] < bestDist || (d[r] == bestDist && r < bestRuler) {
+				bestDist, bestRuler = d[r], r
+			}
+		}
+		if results[v].Ruler != bestRuler || int64(results[v].RulerDist) != bestDist {
+			return fmt.Errorf("helpers: node %d joined (%d,%d), closest is (%d,%d)",
+				v, results[v].Ruler, results[v].RulerDist, bestRuler, bestDist)
+		}
+	}
+	return nil
+}

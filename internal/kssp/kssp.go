@@ -1,0 +1,208 @@
+// Package kssp implements the paper's §4: the framework that turns CLIQUE
+// shortest-path algorithms into HYBRID k-source shortest-path algorithms
+// (Theorem 4.1, Algorithm 5 "SP-Simulation"), and the corollaries
+// instantiating it (Corollaries 4.6-4.9, including Theorem 1.3's exact
+// SSSP in O~(n^(2/5)) rounds).
+//
+// Algorithm 5, for a CLIQUE algorithm A with runtime O~(η q^δ) and
+// (α, β)-approximation quality:
+//
+//	x ← 2/(3+2δ)                      // optimizes simulation vs. exploration
+//	Compute-Skeleton(γ, x)            // package skeleton; single sources join V_S
+//	Compute-Representatives           // Algorithm 7: sources tag the closest
+//	                                  // skeleton node; triples become public
+//	Clique-Simulation(A, x)           // package cliquesim (Corollary 4.1)
+//	local exploration for ηh rounds   // exact distances for close pairs
+//	combine with Equation (1)
+//
+// Guarantees (Theorem 4.1): runtime O~(η n^(1-x)); weighted approximation
+// (2α+1+β/T_B); unweighted (α+2/η+β/T_B); +O~(sqrt k) rounds when A solves
+// APSP and k sources are arbitrary; exact factor (α+β/T_B) for single
+// sources (the source is summoned into the skeleton, Lemma 4.5).
+package kssp
+
+import (
+	"math"
+
+	"repro/internal/clique"
+	"repro/internal/cliquesim"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// AlgSpec characterizes the CLIQUE algorithm A plugged into the framework,
+// in the terms of Theorem 4.1.
+type AlgSpec struct {
+	// Delta is A's runtime exponent δ (sets x = 2/(3+2δ)).
+	Delta float64
+	// Eta is A's runtime scale η >= 1; it also sets the local exploration
+	// depth ηh (clamped to n).
+	Eta float64
+	// SingleSource marks γ = 0: the source joins the skeleton directly
+	// (Lemma 4.5) and no representative detour occurs.
+	SingleSource bool
+	// Factory builds A for a skeleton of size q whose source indices (in
+	// clique index space) are srcIdx. Use cliquesim.SharedFactory semantics
+	// internally when the algorithm requires instance sharing.
+	Factory func(q int, srcIdx []int) clique.Algorithm
+}
+
+// Params tunes the framework run; the zero value follows the paper.
+type Params struct {
+	// XOverride replaces x = 2/(3+2δ) when in (0, 1).
+	XOverride float64
+	// HFactor forwards to skeleton.Params.
+	HFactor float64
+	// Routing tunes the token routing sessions of the CLIQUE simulation.
+	Routing routing.Params
+	// MaxEtaRounds caps the ηh local exploration (0 = n).
+	MaxEtaRounds int
+}
+
+// SourceDist is one output entry: the estimated distance to a source.
+type SourceDist struct {
+	Source int
+	Dist   int64
+}
+
+// Compute runs Algorithm 5 collectively. isSource marks this node as one of
+// the sources; kBound is a globally known upper bound on the number of
+// sources. It returns this node's estimates, sorted by source ID.
+func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Params) []SourceDist {
+	n := env.N()
+	x := params.XOverride
+	if x <= 0 || x >= 1 {
+		x = 2 / (3 + 2*spec.Delta)
+	}
+	sp := skeleton.Params{X: x, HFactor: params.HFactor}
+	h := sp.H(n)
+	etaRounds := int(math.Ceil(spec.Eta * float64(h)))
+	if etaRounds < h {
+		etaRounds = h
+	}
+	if etaRounds > n {
+		etaRounds = n
+	}
+	if params.MaxEtaRounds > 0 && etaRounds > params.MaxEtaRounds {
+		etaRounds = params.MaxEtaRounds
+	}
+
+	// Skeleton; single sources are summoned into it (Algorithm 6, γ = 0).
+	skel := skeleton.Compute(env, sp, isSource && spec.SingleSource)
+
+	// Representatives (Algorithm 7): public triples (source, rep, d_h).
+	reps := skeleton.ComputeRepresentatives(env, skel, isSource, kBound)
+
+	// CLIQUE simulation on the skeleton (Algorithm 8 / Corollary 4.1). The
+	// sources of the simulated problem are the representatives, translated
+	// to clique indices inside the factory once members are known. The
+	// algorithm instance is run-scoped (env.SharedOnce): every node would
+	// construct the identical object from public knowledge, and the
+	// declared-cost oracle additionally requires a single pooled instance.
+	factory := func(q int, members []int) clique.Algorithm {
+		v := env.SharedOnce("kssp.alg", func() interface{} {
+			rank := make(map[int]int, len(members))
+			for i, id := range members {
+				rank[id] = i
+			}
+			srcIdx := make([]int, 0, len(reps))
+			seen := map[int]bool{}
+			for _, ri := range reps {
+				if i, ok := rank[ri.Rep]; ok && !seen[i] {
+					seen[i] = true
+					srcIdx = append(srcIdx, i)
+				}
+			}
+			return spec.Factory(q, srcIdx)
+		})
+		return v.(clique.Algorithm)
+	}
+	simRes := cliquesim.Simulate(env, skel, sp.SampleProb(n), factory)
+
+	// Local exploration to depth ηh with the sources as origins gives the
+	// exact first term of Equation (1) for close pairs.
+	local, _ := skeleton.LimitedExplore(env, isSource, etaRounds)
+
+	// Skeleton nodes flood their simulated estimates d~(u, rep(s)) for every
+	// source s to radius h (the result distribution of Algorithm 5's final
+	// loop). Records are keyed by the source's position in the public reps
+	// list; the column of rep(s) in the node's output vector is found via
+	// the algorithm's Sources() (all nodes for APSP algorithms, the source
+	// index list otherwise).
+	var mine []skeleton.FloodRecord
+	if simRes.Index >= 0 && simRes.Node != nil {
+		if dn, ok := simRes.Node.(clique.DistanceNode); ok {
+			dists := dn.Distances()
+			memberRank := make(map[int]int, len(simRes.Members))
+			for i, id := range simRes.Members {
+				memberRank[id] = i
+			}
+			col := map[int]int{}
+			if da, ok := simRes.Alg.(clique.DistanceAlgorithm); ok {
+				for ci, s := range da.Sources() {
+					col[s] = ci
+				}
+			}
+			mine = make([]skeleton.FloodRecord, 0, len(reps))
+			for oi, ri := range reps {
+				i, inClique := memberRank[ri.Rep]
+				if !inClique {
+					continue
+				}
+				c, hasCol := col[i]
+				if !hasCol || c >= len(dists) {
+					continue
+				}
+				mine = append(mine, skeleton.FloodRecord{
+					Origin:  env.ID(),
+					Subject: oi,
+					Value:   dists[c],
+				})
+			}
+		}
+	}
+	labels := skeleton.FloodLabels(env, mine, h)
+
+	// Combine per Equation (1):
+	// d~(v,s) = min(d_ηh(v,s), min_u d_h(v,u) + d~(u,r_s) + d_h(r_s,s)).
+	out := make([]SourceDist, 0, len(reps))
+	srcOrder := orderedSourceIndex(simRes, reps)
+	for _, ri := range reps {
+		best := graph.Inf
+		if d, ok := local[ri.Source]; ok {
+			best = d
+		}
+		oi, hasRep := srcOrder[ri.Source]
+		if hasRep {
+			for u, du := range skel.Near {
+				if dv, ok := labels[[2]int{u, oi}]; ok {
+					if cand := satAdd(du, satAdd(dv, ri.Dist)); cand < best {
+						best = cand
+					}
+				}
+			}
+		}
+		out = append(out, SourceDist{Source: ri.Source, Dist: best})
+	}
+	return out
+}
+
+// orderedSourceIndex maps source node ID -> its output index oi.
+func orderedSourceIndex(simRes cliquesim.Result, reps []skeleton.RepInfo) map[int]int {
+	out := make(map[int]int, len(reps))
+	for oi, ri := range reps {
+		if ri.Rep >= 0 {
+			out[ri.Source] = oi
+		}
+	}
+	return out
+}
+
+func satAdd(a, b int64) int64 {
+	if a >= graph.Inf || b >= graph.Inf {
+		return graph.Inf
+	}
+	return a + b
+}

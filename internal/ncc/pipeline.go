@@ -1,0 +1,72 @@
+package ncc
+
+import "repro/internal/sim"
+
+// PipelinedBroadcast is the NCC-ONLY token broadcast used as the
+// global-mode-only baseline of the paper's §1 model comparison ("if only
+// the NCC model is used, the (approximate) APSP problem clearly requires
+// Ω~(n) rounds"): k token slots are broadcast to every node using only the
+// global network, one binomial-doubling wave per slot, pipelined so that
+// wave b of slot t runs in round t+b. Each node sends at most one message
+// per in-flight slot per round — at most ceil(log2 n) concurrent slots —
+// which exactly fits the model's O(log n) cap.
+//
+// Slots are a fixed n × ell grid: slot t = v*ell + j carries node v's j-th
+// token (absent tokens idle their slot). Rounds: n*ell + ceil(log2 n).
+// The Θ(n·ell) cost is the point of the baseline: without the local mode
+// there is no replication shortcut, so it is slower than Lemma B.1's
+// O~(sqrt(k)) by roughly sqrt(k) — the HYBRID advantage E11 measures.
+func PipelinedBroadcast(env *sim.Env, mine []Token, ell int) []Token {
+	n := env.N()
+	logN := sim.Log2Ceil(n)
+	slots := n * ell
+	totalRounds := slots + logN
+
+	known := map[Token]bool{}
+	// haveSlot[t] = the token of slot t, if this node knows it.
+	haveSlot := map[int]Token{}
+	for j, t := range mine {
+		if j >= ell {
+			break
+		}
+		slot := env.ID()*ell + j
+		haveSlot[slot] = t
+		known[t] = true
+	}
+
+	offset := func(id, src int) int { return ((id-src)%n + n) % n }
+
+	for r := 0; r < totalRounds; r++ {
+		// Slot t is in doubling phase b = r - t for 0 <= b < logN.
+		lo := r - logN + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for t := lo; t <= r && t < slots; t++ {
+			b := r - t
+			src := t / ell
+			tok, have := haveSlot[t]
+			if !have {
+				continue
+			}
+			off := offset(env.ID(), src)
+			if off >= (1 << b) {
+				continue
+			}
+			partner := off + (1 << b)
+			if partner < n {
+				env.SendGlobal((src+partner)%n, kindPipeline, tok.A, tok.B, tok.C, int64(t))
+			}
+		}
+		in := env.Step()
+		for _, gm := range in.Global {
+			if gm.Kind != kindPipeline {
+				continue
+			}
+			tok := Token{A: gm.F0, B: gm.F1, C: gm.F2}
+			haveSlot[int(gm.F3)] = tok
+			known[tok] = true
+		}
+	}
+	return tokensOf(known)
+}

@@ -1,0 +1,575 @@
+// Package routing implements the token routing protocol of paper §2
+// (Algorithms 2-4, Theorem 2.2): given sender nodes S and receiver nodes R,
+// where each sender holds at most kS tokens, each receiver expects at most
+// kR tokens and knows their labels, deliver every token to its receiver in
+// O~(K/n + sqrt(kS) + sqrt(kR)) rounds, K = |S|·kS + |R|·kR.
+//
+// The protocol (§2.2):
+//
+//  1. Compute helper families {H_s} and {H'_r} with Algorithm 1
+//     (package helpers), µ_S = min(sqrt(kS), 1/p_S), µ_R analogous.
+//  2. Routing-Preparation (Algorithm 3): cluster-local flooding lets every
+//     sender/receiver learn its helper set, after which tokens
+//     (resp. expected labels) are spread balanced over the helpers.
+//  3. Routing-Scheme (Algorithm 4): sender-helpers push tokens to
+//     pseudo-random intermediate nodes determined by a shared k-wise
+//     independent hash of the token label (package bitrand, broadcast as an
+//     O(log^2 n)-bit seed per Lemma 2.3); receiver-helpers then request
+//     their assigned labels from the same intermediates, which answer.
+//  4. Receivers collect their tokens from their helpers by cluster-local
+//     flooding.
+//
+// Deviations from the paper, all constant-factor and documented in
+// DESIGN.md: phase lengths that the paper states as w.h.p. bounds are
+// computed exactly with O(log n)-round global max-aggregations (Lemma B.2),
+// which keeps every run correct (never truncated) while preserving the
+// asymptotic round complexity.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitrand"
+	"repro/internal/helpers"
+	"repro/internal/ncc"
+	"repro/internal/sim"
+)
+
+// Message kinds.
+const (
+	kindToken   sim.Kind = 0x7d00 + iota // sender-helper -> intermediate
+	kindRequest                          // receiver-helper -> intermediate
+	kindAnswer                           // intermediate -> receiver-helper
+)
+
+// Label identifies one token: sender, receiver, and an index i
+// distinguishing multiple tokens between the same pair (paper §2.2).
+type Label struct {
+	S, R int
+	I    int64
+}
+
+// Token is a label plus its O(log n)-bit payload.
+type Token struct {
+	Label
+	Value int64
+}
+
+// pack encodes a label as a field element for hashing. Distinct labels map
+// to distinct keys for n < 2^14 and i < 2^30 (the CLIQUE simulation uses
+// large i tags), staying below the Mersenne prime 2^61-1.
+func (l Label) pack() uint64 {
+	return uint64(l.S)<<44 | uint64(l.R)<<30 | uint64(l.I&0x3fffffff)
+}
+
+// Spec is one node's view of a token routing instance. KS, KR, PS and PR
+// must be identical at every node (globally known parameters); Send/Expect
+// are the node's own inputs.
+type Spec struct {
+	// Send holds the tokens this node must send (empty unless a sender).
+	Send []Token
+	// Expect holds the labels this node must receive (empty unless a
+	// receiver). Receivers know their labels per the problem statement.
+	Expect []Label
+	// InS / InR mark membership in the sender and receiver sets.
+	InS, InR bool
+	// KS and KR are global upper bounds on tokens per sender / receiver.
+	KS, KR int
+	// PS and PR are the sampling probabilities of S and R (Theorem 2.2's
+	// p_S = n^-eps, p_R = n^-delta); they determine µ_S and µ_R.
+	PS, PR float64
+}
+
+// Params tunes constants; the zero value is ready to use.
+type Params struct {
+	// Helpers configures Algorithm 1.
+	Helpers helpers.Params
+	// MuS / MuR override the derived µ values when positive.
+	MuS, MuR int
+	// HashKFactor scales the independence parameter k = HashKFactor*logN
+	// of the intermediate-choosing hash (Lemma D.2 wants Θ(log n)).
+	// Zero means 3.
+	HashKFactor int
+}
+
+func (p Params) withDefaults() Params {
+	if p.HashKFactor <= 0 {
+		p.HashKFactor = 3
+	}
+	return p
+}
+
+// mu computes floor(min(sqrt(k), 1/p)), clamped to >= 1 (Algorithm 2).
+func mu(k int, prob float64) int {
+	m := math.Sqrt(float64(k))
+	if prob > 0 {
+		if inv := 1 / prob; inv < m {
+			m = inv
+		}
+	}
+	v := int(m)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// helperAnnounce floods helper-set membership inside clusters so that every
+// sender (and every helper of it) learns the full, identically-ordered
+// helper set.
+type helperAnnounce struct {
+	Ruler  int
+	W      int
+	Helper int
+}
+
+// tokenFlood carries a sender's token (or a receiver's expected label,
+// Value ignored) through its cluster during Routing-Preparation.
+type tokenFlood struct {
+	Ruler int
+	Owner int // the sender or receiver the item belongs to
+	Tok   Token
+}
+
+// deliveredRec carries an answered token from a receiver-helper back to the
+// receiver through the cluster.
+type deliveredRec struct {
+	Ruler int
+	Tok   Token
+}
+
+// Session holds the token-independent state of the protocol: the helper
+// families, the cluster-local helper directories, and the shared hash
+// function. Algorithm 8 (the CLIQUE simulation) runs one routing instance
+// per simulated round over the same sender/receiver sets; reusing the
+// session re-uses Algorithm 1's output, which the paper's cost accounting
+// permits (helper sets depend only on S, R and µ, not on the tokens).
+type Session struct {
+	env        *sim.Env
+	params     Params
+	muS, muR   int
+	resS, resR helpers.Result
+	helpersS   map[int][]int
+	helpersR   map[int][]int
+	hash       *bitrand.KWiseHash
+}
+
+// NewSession computes helper families for the given sender/receiver
+// membership and broadcasts the hash seed. Collective; all nodes must agree
+// on kS, kR, pS, pR and params.
+func NewSession(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, params Params) *Session {
+	p := params.withDefaults()
+	n := env.N()
+	logN := sim.Log2Ceil(n)
+
+	muS := p.MuS
+	if muS <= 0 {
+		muS = mu(kS, pS)
+	}
+	muR := p.MuR
+	if muR <= 0 {
+		muR = mu(kR, pR)
+	}
+
+	// Helper families for senders and receivers (Algorithm 1 twice).
+	resS := helpers.Compute(env, inS, muS, p.Helpers)
+	resR := helpers.Compute(env, inR, muR, p.Helpers)
+
+	// Shared hash function. Node 0 draws the seed; everyone gets it via a
+	// binomial broadcast (Lemma 2.3: O(log^2 n) bits in O~(1) rounds).
+	kHash := p.HashKFactor * logN
+	var seedWords []int64
+	if env.ID() == 0 {
+		h := bitrand.NewKWiseHash(kHash, n, env.Rand())
+		for _, c := range h.Seed() {
+			seedWords = append(seedWords, int64(c))
+		}
+	}
+	words := ncc.BroadcastWords(env, 0, seedWords, kHash)
+	seed := make([]uint64, len(words))
+	for i, w := range words {
+		seed[i] = uint64(w)
+	}
+
+	// Algorithm 3, first loop: cluster-local flooding of helper
+	// memberships, separately per family.
+	s := &Session{
+		env:    env,
+		params: p,
+		muS:    muS,
+		muR:    muR,
+		resS:   resS,
+		resR:   resR,
+		hash:   bitrand.FromSeed(seed, n),
+	}
+	s.helpersS = announceHelpers(env, resS, muS)
+	s.helpersR = announceHelpers(env, resR, muR)
+	return s
+}
+
+// Route runs the full token routing protocol collectively. Every node must
+// call it in the same round with consistent global fields. It returns the
+// tokens this node received (sorted), which is the node's Expect set with
+// values filled in when the instance is consistent.
+func Route(env *sim.Env, spec Spec, params Params) []Token {
+	s := NewSession(env, spec.InS, spec.InR, spec.KS, spec.KR, spec.PS, spec.PR, params)
+	return s.Route(spec.Send, spec.Expect)
+}
+
+// Route runs one routing instance over the session's helper families:
+// Algorithm 3's token spreading followed by Algorithm 4's hash-routed
+// forwarding and the final cluster-local collection.
+func (s *Session) Route(send []Token, expect []Label) []Token {
+	env := s.env
+	budget := env.GlobalCap()
+	hash := s.hash
+	resS, resR := s.resS, s.resR
+	muS, muR := s.muS, s.muR
+
+	// Algorithm 3, second loop: flood tokens and expected labels to the
+	// clusters; helpers pick their balanced share by rank.
+	sendTokens := canonicalTokens(send)
+	myTokenJobs := spreadItems(env, resS, muS, sendTokens, s.helpersS)
+	expectTokens := make([]Token, len(expect))
+	for i, l := range expect {
+		expectTokens[i] = Token{Label: l}
+	}
+	expectTokens = canonicalTokens(expectTokens)
+	myLabelJobs := spreadItems(env, resR, muR, expectTokens, s.helpersR)
+
+	// Algorithm 4: forward tokens to intermediates. The phase length is the
+	// exact global maximum load, aggregated in O(log n) rounds.
+	maxSend := int(ncc.Aggregate(env, int64(len(myTokenJobs)), ncc.AggMax))
+	fwdRounds := ceilDiv(maxSend, budget)
+	inter := make(map[Label]int64)
+	ji := 0
+	for round := 0; round < fwdRounds; round++ {
+		for s := 0; s < budget && ji < len(myTokenJobs); s++ {
+			t := myTokenJobs[ji]
+			ji++
+			env.SendGlobal(hash.Hash(t.pack()), kindToken, int64(t.S), int64(t.R), t.I, t.Value)
+		}
+		in := env.Step()
+		for _, gm := range in.Global {
+			if gm.Kind == kindToken {
+				inter[Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}] = gm.F3
+			}
+		}
+	}
+
+	// Algorithm 4: receiver-helpers request their labels; the
+	// intermediates answer, pacing replies at the cap. Drain time is
+	// bounded by the max number of tokens parked at one intermediate.
+	maxReq := int(ncc.Aggregate(env, int64(len(myLabelJobs)), ncc.AggMax))
+	maxHeld := int(ncc.Aggregate(env, int64(len(inter)), ncc.AggMax))
+	reqRounds := ceilDiv(maxReq, budget) + ceilDiv(maxHeld, budget) + 1
+
+	var gotTokens []Token
+	type reply struct {
+		to  int
+		tok Token
+	}
+	var replyQueue []reply
+	li := 0
+	for round := 0; round < reqRounds; round++ {
+		sent := 0
+		for ; sent < budget && li < len(myLabelJobs); sent++ {
+			l := myLabelJobs[li].Label
+			li++
+			env.SendGlobal(hash.Hash(l.pack()), kindRequest, int64(l.S), int64(l.R), l.I, 0)
+		}
+		// Remaining budget answers queued requests.
+		for ; sent < budget && len(replyQueue) > 0; sent++ {
+			r := replyQueue[0]
+			replyQueue = replyQueue[1:]
+			env.SendGlobal(r.to, kindAnswer, int64(r.tok.S), int64(r.tok.R), r.tok.I, r.tok.Value)
+		}
+		in := env.Step()
+		for _, gm := range in.Global {
+			switch gm.Kind {
+			case kindRequest:
+				l := Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}
+				if v, ok := inter[l]; ok {
+					replyQueue = append(replyQueue, reply{to: gm.Src, tok: Token{Label: l, Value: v}})
+				}
+			case kindAnswer:
+				gotTokens = append(gotTokens, Token{
+					Label: Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2},
+					Value: gm.F3,
+				})
+			}
+		}
+	}
+	// Flush any replies still queued (possible when requests bunched up in
+	// the final rounds): drain with a short aggregated extension.
+	for {
+		left := int(ncc.Aggregate(env, int64(len(replyQueue)), ncc.AggMax))
+		if left == 0 {
+			break
+		}
+		for i := 0; i < ceilDiv(left, budget); i++ {
+			sent := 0
+			for ; sent < budget && len(replyQueue) > 0; sent++ {
+				r := replyQueue[0]
+				replyQueue = replyQueue[1:]
+				env.SendGlobal(r.to, kindAnswer, int64(r.tok.S), int64(r.tok.R), r.tok.I, r.tok.Value)
+			}
+			in := env.Step()
+			for _, gm := range in.Global {
+				if gm.Kind == kindAnswer {
+					gotTokens = append(gotTokens, Token{
+						Label: Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2},
+						Value: gm.F3,
+					})
+				}
+			}
+		}
+	}
+
+	// Receivers collect tokens from their helpers via cluster-local
+	// flooding (final loop of Algorithm 4).
+	collected := collectAtReceivers(env, resR, muR, gotTokens)
+	return canonicalTokens(collected)
+}
+
+// announceHelpers floods (w, helper) pairs within clusters for 2β rounds so
+// that all cluster members agree on each H_w. It returns the helper
+// directory of this node's cluster (w -> sorted helper IDs).
+func announceHelpers(env *sim.Env, res helpers.Result, mu int) map[int][]int {
+	n := env.N()
+	beta := 2 * mu * sim.Log2Ceil(n)
+	type key struct{ w, helper int }
+	known := map[key]bool{}
+	var delta []helperAnnounce
+	for _, w := range res.Helps {
+		a := helperAnnounce{Ruler: res.Ruler, W: w, Helper: env.ID()}
+		known[key{w, env.ID()}] = true
+		delta = append(delta, a)
+	}
+	for step := 0; step < 2*beta; step++ {
+		if len(delta) > 0 {
+			env.BroadcastLocal(delta)
+		}
+		in := env.Step()
+		var next []helperAnnounce
+		for _, lm := range in.Local {
+			anns, ok := lm.Payload.([]helperAnnounce)
+			if !ok {
+				continue
+			}
+			for _, a := range anns {
+				if a.Ruler != res.Ruler {
+					continue
+				}
+				k := key{a.W, a.Helper}
+				if !known[k] {
+					known[k] = true
+					next = append(next, a)
+				}
+			}
+		}
+		delta = next
+	}
+	sets := map[int][]int{}
+	for k := range known {
+		sets[k.w] = append(sets[k.w], k.helper)
+	}
+	for w := range sets {
+		sort.Ints(sets[w])
+	}
+	return sets
+}
+
+// spreadItems floods each owner's items through its cluster for 2β rounds;
+// every helper picks the share assigned to it by rank (item j goes to
+// helper j mod |H_w|), which both the owner and all helpers compute
+// identically from the sorted helper set. It returns the items THIS node is
+// responsible for as a helper.
+func spreadItems(env *sim.Env, res helpers.Result, mu int, myItems []Token, helperSets map[int][]int) []Token {
+	n := env.N()
+	beta := 2 * mu * sim.Log2Ceil(n)
+	me := env.ID()
+
+	type key struct {
+		owner int
+		label Label
+	}
+	known := map[key]bool{}
+	var delta []tokenFlood
+	for _, t := range myItems {
+		known[key{me, t.Label}] = true
+		delta = append(delta, tokenFlood{Ruler: res.Ruler, Owner: me, Tok: t})
+	}
+	items := map[int][]Token{}
+	if len(myItems) > 0 {
+		items[me] = append(items[me], myItems...)
+	}
+	for step := 0; step < 2*beta; step++ {
+		if len(delta) > 0 {
+			env.BroadcastLocal(delta)
+		}
+		in := env.Step()
+		var next []tokenFlood
+		for _, lm := range in.Local {
+			tfs, ok := lm.Payload.([]tokenFlood)
+			if !ok {
+				continue
+			}
+			for _, tf := range tfs {
+				if tf.Ruler != res.Ruler {
+					continue
+				}
+				k := key{tf.Owner, tf.Tok.Label}
+				if !known[k] {
+					known[k] = true
+					items[tf.Owner] = append(items[tf.Owner], tf.Tok)
+					next = append(next, tf)
+				}
+			}
+		}
+		delta = next
+	}
+
+	// Pick my share: for every owner I help, take items by rank.
+	var mine []Token
+	for _, w := range helpersOf(me, helperSets) {
+		hs := helperSets[w]
+		rank := sort.SearchInts(hs, me)
+		toks := canonicalTokens(items[w])
+		for j := rank; j < len(toks); j += len(hs) {
+			mine = append(mine, toks[j])
+		}
+	}
+	return canonicalTokens(mine)
+}
+
+// helpersOf lists the owners w whose helper set contains node id, sorted.
+func helpersOf(id int, helperSets map[int][]int) []int {
+	var out []int
+	for w, hs := range helperSets {
+		i := sort.SearchInts(hs, id)
+		if i < len(hs) && hs[i] == id {
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// collectAtReceivers floods answered tokens through receiver clusters for
+// 2β rounds; each receiver keeps the tokens addressed to it.
+func collectAtReceivers(env *sim.Env, res helpers.Result, mu int, gotTokens []Token) []Token {
+	n := env.N()
+	beta := 2 * mu * sim.Log2Ceil(n)
+	known := map[Label]int64{}
+	var delta []deliveredRec
+	var out []Token
+	for _, t := range gotTokens {
+		known[t.Label] = t.Value
+		delta = append(delta, deliveredRec{Ruler: res.Ruler, Tok: t})
+		if t.R == env.ID() {
+			out = append(out, t)
+		}
+	}
+	for step := 0; step < 2*beta; step++ {
+		if len(delta) > 0 {
+			env.BroadcastLocal(delta)
+		}
+		in := env.Step()
+		var next []deliveredRec
+		for _, lm := range in.Local {
+			recs, ok := lm.Payload.([]deliveredRec)
+			if !ok {
+				continue
+			}
+			for _, rec := range recs {
+				if rec.Ruler != res.Ruler {
+					continue
+				}
+				if _, seen := known[rec.Tok.Label]; !seen {
+					known[rec.Tok.Label] = rec.Tok.Value
+					next = append(next, rec)
+					if rec.Tok.R == env.ID() {
+						out = append(out, rec.Tok)
+					}
+				}
+			}
+		}
+		delta = next
+	}
+	return out
+}
+
+// canonicalTokens sorts tokens by (S, R, I) and drops duplicates.
+func canonicalTokens(ts []Token) []Token {
+	out := append([]Token(nil), ts...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.I < b.I
+	})
+	dedup := out[:0]
+	for i, t := range out {
+		if i == 0 || t.Label != out[i-1].Label {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Validate checks an instance assembled from all nodes' specs for
+// consistency: every expected label is sent exactly once, senders'
+// per-node loads respect KS, receivers' loads respect KR, labels are
+// distinct. Tests call it before routing.
+func Validate(specs []Spec) error {
+	sent := map[Label]bool{}
+	for v, sp := range specs {
+		if len(sp.Send) > 0 && !sp.InS {
+			return fmt.Errorf("routing: node %d sends but is not in S", v)
+		}
+		if len(sp.Expect) > 0 && !sp.InR {
+			return fmt.Errorf("routing: node %d expects but is not in R", v)
+		}
+		if len(sp.Send) > sp.KS {
+			return fmt.Errorf("routing: node %d sends %d > KS=%d", v, len(sp.Send), sp.KS)
+		}
+		if len(sp.Expect) > sp.KR {
+			return fmt.Errorf("routing: node %d expects %d > KR=%d", v, len(sp.Expect), sp.KR)
+		}
+		for _, t := range sp.Send {
+			if t.S != v {
+				return fmt.Errorf("routing: node %d sends token labeled with sender %d", v, t.S)
+			}
+			if sent[t.Label] {
+				return fmt.Errorf("routing: duplicate token label %+v", t.Label)
+			}
+			sent[t.Label] = true
+		}
+	}
+	for v, sp := range specs {
+		for _, l := range sp.Expect {
+			if l.R != v {
+				return fmt.Errorf("routing: node %d expects label addressed to %d", v, l.R)
+			}
+			if !sent[l] {
+				return fmt.Errorf("routing: label %+v expected but never sent", l)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package ruling implements the deterministic distributed ruling-set
+// algorithm the paper invokes as Lemma 2.1 (due to Awerbuch et al. [4] and
+// Kuhn, Maus & Weidner [22]): a (2µ+1, 2µ⌈log n⌉)-ruling set of the local
+// graph computed in O(µ log n) rounds using only local communication.
+//
+// Definition 2.3: R ⊆ V is an (α, β)-ruling set iff every node is within β
+// hops of some ruler and any two distinct rulers are at least α hops apart.
+//
+// The algorithm is the classic bitwise-ID elimination: starting from
+// R = V, process the ⌈log n⌉ ID bits one at a time; at bit i, candidates
+// whose bit is 1 drop out if a candidate with bit 0 lies within 2µ hops
+// (detected by a 2µ-round local wave). Each stage preserves domination up to
+// +2µ hops and the survivors of all stages are pairwise > 2µ apart.
+package ruling
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// waveMsg is the local-mode payload of the elimination wave: a zero-bit
+// candidate announces itself with a time-to-live.
+type waveMsg struct {
+	TTL int
+}
+
+// Compute runs the collective ruling-set protocol and reports whether this
+// node ends up in the ruling set. All nodes must call it in the same round;
+// it takes exactly ceil(log2 n) * 2µ rounds. The result is a
+// (2µ+1, 2µ⌈log n⌉)-ruling set of G (Lemma 2.1).
+func Compute(env *sim.Env, mu int) bool {
+	if mu < 1 {
+		mu = 1
+	}
+	logN := sim.Log2Ceil(env.N())
+	alpha := 2 * mu // drop distance; survivors end up >= alpha+1 apart
+
+	candidate := true
+	for bit := 0; bit < logN; bit++ {
+		myBit := (env.ID() >> bit) & 1
+		// Zero-bit candidates start a wave of radius alpha; one-bit
+		// candidates that hear it drop out. Every node forwards the wave
+		// (whether candidate or not) so distances are true hop distances.
+		heard := false
+		seen := false // this node already forwarded the wave
+		for step := 0; step < alpha; step++ {
+			if step == 0 && candidate && myBit == 0 {
+				env.BroadcastLocal(waveMsg{TTL: alpha - 1})
+				seen = true
+			}
+			in := env.Step()
+			best := -1
+			for _, lm := range in.Local {
+				if w, ok := lm.Payload.(waveMsg); ok {
+					heard = true
+					if w.TTL > best {
+						best = w.TTL
+					}
+				}
+			}
+			if best > 0 && !seen {
+				// Forward once with the largest remaining TTL; re-forwarding
+				// can only shrink TTL, so once suffices.
+				env.BroadcastLocal(waveMsg{TTL: best - 1})
+				seen = true
+			}
+		}
+		if candidate && myBit == 1 && heard {
+			candidate = false
+		}
+	}
+	return candidate
+}
+
+// Check verifies the (alpha, beta)-ruling set properties of rulers on g
+// sequentially. It returns nil iff rulers is a valid (alpha, beta)-ruling
+// set. Used by tests and by the experiment harness as ground truth.
+func Check(g *graph.Graph, rulers []bool, alpha, beta int) error {
+	n := g.N()
+	if len(rulers) != n {
+		return fmt.Errorf("ruling: got %d flags for %d nodes", len(rulers), n)
+	}
+	any := false
+	for v := 0; v < n; v++ {
+		if rulers[v] {
+			any = true
+			break
+		}
+	}
+	if !any && n > 0 {
+		return fmt.Errorf("ruling: empty ruling set")
+	}
+	// Multi-source BFS from all rulers gives each node's distance to the
+	// nearest ruler (domination) and, from each ruler, a solo BFS bounds
+	// pairwise separation.
+	distToRuler := make([]int, n)
+	for i := range distToRuler {
+		distToRuler[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if rulers[v] {
+			distToRuler[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(u) {
+			if distToRuler[nb.To] == -1 {
+				distToRuler[nb.To] = distToRuler[u] + 1
+				queue = append(queue, nb.To)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if distToRuler[v] == -1 || distToRuler[v] > beta {
+			return fmt.Errorf("ruling: node %d is %d hops from nearest ruler, beta = %d", v, distToRuler[v], beta)
+		}
+	}
+	// Separation: BFS limited to depth alpha-1 from each ruler must not
+	// reach another ruler.
+	for r := 0; r < n; r++ {
+		if !rulers[r] {
+			continue
+		}
+		d := graph.BFS(g, r)
+		for v := 0; v < n; v++ {
+			if v != r && rulers[v] && d[v] < int64(alpha) {
+				return fmt.Errorf("ruling: rulers %d and %d are %d hops apart, alpha = %d", r, v, d[v], alpha)
+			}
+		}
+	}
+	return nil
+}
+
+// Rounds returns the exact number of rounds Compute takes for the given n
+// and mu, so callers composing phases can pre-compute schedules.
+func Rounds(n, mu int) int {
+	if mu < 1 {
+		mu = 1
+	}
+	return sim.Log2Ceil(n) * 2 * mu
+}

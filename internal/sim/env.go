@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// ID returns this node's identifier in [0, N).
+func (env *Env) ID() int { return env.id }
+
+// N returns the total number of nodes.
+func (env *Env) N() int { return env.eng.n }
+
+// LogN returns ceil(log2 n), the unit in which the model's caps are stated.
+func (env *Env) LogN() int { return env.eng.logN }
+
+// GlobalCap returns the number of global messages this node may send per
+// round.
+func (env *Env) GlobalCap() int { return env.eng.sendCap }
+
+// Round returns the number of rounds this node has completed so far.
+func (env *Env) Round() int { return env.round }
+
+// Graph returns the local communication graph G. Programs may read
+// arbitrary topology local to themselves; by LOCAL-model convention a node
+// knows its incident edges (and only those) at start, which programs should
+// respect by only inspecting their own neighborhood.
+func (env *Env) Graph() *graph.Graph { return env.eng.g }
+
+// Neighbors returns this node's adjacency list in G.
+func (env *Env) Neighbors() []graph.Neighbor { return env.eng.g.Neighbors(env.id) }
+
+// Degree returns this node's degree in G.
+func (env *Env) Degree() int { return env.eng.g.Degree(env.id) }
+
+// Rand returns this node's private deterministic random stream.
+func (env *Env) Rand() *rand.Rand { return env.rng }
+
+// PublicRand returns a random stream shared by all nodes for the given
+// label. It models public randomness: per Lemma B.1 an O(log^2 n)-bit seed
+// can be broadcast in O~(1) rounds, so protocols account its cost as
+// polylog. The ncc package also implements the broadcast explicitly.
+func (env *Env) PublicRand(label string) *rand.Rand {
+	return bitrand.NewSource(env.eng.cfg.Seed).Named("public:" + label)
+}
+
+// SendLocal stages a local-mode message to a neighbor in G. Local messages
+// may carry arbitrarily large payloads (LOCAL model). Sending to a
+// non-neighbor is a model violation and aborts the run.
+func (env *Env) SendLocal(to int, payload interface{}) {
+	if !env.eng.g.HasEdge(env.id, to) {
+		env.violate(fmt.Errorf("sim: node %d sent local message to non-neighbor %d", env.id, to))
+	}
+	env.outLocal = append(env.outLocal, localOut{to: to, payload: payload})
+}
+
+// BroadcastLocal stages the payload to every neighbor in G.
+func (env *Env) BroadcastLocal(payload interface{}) {
+	for _, nb := range env.Neighbors() {
+		env.outLocal = append(env.outLocal, localOut{to: nb.To, payload: payload})
+	}
+}
+
+// SendGlobal stages a global-mode message. Src is stamped automatically.
+// Exceeding the per-round cap or addressing an invalid node is a model
+// violation and aborts the run.
+func (env *Env) SendGlobal(dst int, kind Kind, f0, f1, f2, f3 int64) {
+	if dst < 0 || dst >= env.eng.n {
+		env.violate(fmt.Errorf("sim: node %d sent global message to invalid node %d", env.id, dst))
+	}
+	if env.globalSentThisRound >= env.eng.sendCap {
+		env.violate(fmt.Errorf("sim: node %d exceeded global send cap %d in round %d",
+			env.id, env.eng.sendCap, env.round))
+	}
+	env.globalSentThisRound++
+	env.outGlobal = append(env.outGlobal, GlobalMsg{
+		Src: env.id, Dst: dst, Kind: kind, F0: f0, F1: f1, F2: f2, F3: f3,
+	})
+}
+
+// GlobalBudget returns how many more global messages this node may send in
+// the current round.
+func (env *Env) GlobalBudget() int { return env.eng.sendCap - env.globalSentThisRound }
+
+// Step ends the node's round: all staged messages are handed to the engine,
+// and the call blocks until every node has ended the round. It returns the
+// inbox of messages delivered for the next round. The returned slices are
+// owned by the caller until the next Step call.
+func (env *Env) Step() Inbox {
+	if env.eng.aborted.Load() {
+		panic(errAbort)
+	}
+	rel := env.eng.currentRelease()
+	env.arrive()
+	<-rel
+	if env.eng.aborted.Load() {
+		panic(errAbort)
+	}
+	env.round++
+	in := Inbox{Local: env.inLocal, Global: env.inGlobal}
+	env.inLocal = nil
+	env.inGlobal = nil
+	return in
+}
+
+// StepIdle advances the node r rounds without sending anything, discarding
+// anything received. Used to keep phase-aligned nodes in lockstep while a
+// subset works.
+func (env *Env) StepIdle(r int) {
+	for i := 0; i < r; i++ {
+		env.Step()
+	}
+}
+
+// SharedOnce returns a run-scoped shared value: the i-th call with a given
+// prefix (counted per node) resolves to the same object at every node, with
+// fn evaluated exactly once across the whole run. It models the fact that
+// all nodes run identical deterministic code on identical public knowledge
+// and would therefore construct identical objects — and it is load-bearing
+// for components that must pool state across the process's node goroutines
+// (the declared-cost CLIQUE oracle). fn runs under a global lock and must
+// not call Step or touch node-local state. Nodes must call SharedOnce for a
+// given prefix in the same collective order.
+func (env *Env) SharedOnce(prefix string, fn func() interface{}) interface{} {
+	if env.sharedSeq == nil {
+		env.sharedSeq = map[string]int{}
+	}
+	idx := env.sharedSeq[prefix]
+	env.sharedSeq[prefix]++
+	key := fmt.Sprintf("%s#%d", prefix, idx)
+	e := env.eng
+	e.sharedMu.Lock()
+	defer e.sharedMu.Unlock()
+	if e.shared == nil {
+		e.shared = map[string]interface{}{}
+	}
+	if v, ok := e.shared[key]; ok {
+		return v
+	}
+	v := fn()
+	e.shared[key] = v
+	return v
+}
+
+// violate reports a model violation and unwinds this node's goroutine.
+func (env *Env) violate(err error) {
+	env.eng.fail(err)
+	panic(errAbort)
+}
+
+// arrive signals the barrier; the last arriver wakes the coordinator.
+func (env *Env) arrive() {
+	if atomic.AddInt32(&env.eng.remaining, -1) == 0 {
+		env.eng.ready <- struct{}{}
+	}
+}

@@ -1,0 +1,362 @@
+// Package sim implements the HYBRID network model of Augustine et al.
+// (SODA '20) as used by Kuhn & Schneider (PODC '20): synchronous message
+// passing over a node set V = {0..n-1} with two communication modes.
+//
+//   - Local mode (LOCAL): in each round, every node may exchange messages of
+//     arbitrary size with each of its neighbors in the local graph G.
+//   - Global mode (NCC): in each round, every node may send O(log n)
+//     messages of O(log n) bits each to arbitrary nodes.
+//
+// Each node runs its Program in its own goroutine; a call to Env.Step ends
+// the node's round and blocks until every other node has ended the round
+// too, at which point the engine delivers all staged messages. The number of
+// barrier generations is exactly the round complexity the paper's theorems
+// are stated in.
+//
+// Model enforcement: global-mode send caps are enforced strictly (a program
+// exceeding its cap is a bug, reported as a run error). Global receive load
+// is recorded, not enforced, because bounding it is a w.h.p. *claim* of the
+// paper's protocols (Lemma D.2) that the test suite verifies empirically.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitrand"
+	"repro/internal/graph"
+)
+
+// Kind tags the protocol-level meaning of a global message.
+type Kind uint16
+
+// GlobalMsg is one global-mode message. Its payload is four 64-bit fields,
+// so every message is Theta(log n) bits by construction (the paper permits a
+// constant number of log n-bit words per message).
+type GlobalMsg struct {
+	Src, Dst int
+	Kind     Kind
+	F0       int64
+	F1       int64
+	F2       int64
+	F3       int64
+}
+
+// LocalMsg is one local-mode message: an arbitrary payload received from a
+// neighbor in G.
+type LocalMsg struct {
+	From    int
+	Payload interface{}
+}
+
+// Inbox holds everything a node received in the round that just ended.
+// Local messages are ordered by sender ID, then send order; global messages
+// by sender ID, then send order. The ordering is deterministic.
+type Inbox struct {
+	Local  []LocalMsg
+	Global []GlobalMsg
+}
+
+// Program is the algorithm executed by every node. Implementations switch on
+// env.ID() when nodes play different roles. Programs communicate results by
+// writing to captured per-node output slots.
+type Program func(env *Env)
+
+// Config controls model parameters and instrumentation.
+type Config struct {
+	// Seed roots all randomness (per-node streams and public randomness).
+	Seed int64
+
+	// GlobalSendFactor scales the global-mode send cap:
+	// cap = GlobalSendFactor * ceil(log2 n). Zero means 1. The paper's
+	// algorithms pace their global traffic in Theta(log n) chunks, so 1 is
+	// the faithful default; experiments may raise it to study the tradeoff.
+	GlobalSendFactor int
+
+	// MaxRounds aborts runs that exceed this many rounds (guards against
+	// non-terminating programs). Zero means DefaultMaxRounds.
+	MaxRounds int
+
+	// StrictRecvFactor, if positive, aborts the run when a node receives
+	// more than StrictRecvFactor*ceil(log2 n) global messages in one round.
+	// Zero disables enforcement (load is still recorded in Metrics).
+	StrictRecvFactor int
+
+	// Cut, if non-nil, marks a node bipartition (true = "Alice" side). The
+	// engine counts global messages and bits crossing the cut; the
+	// lower-bound experiments (E8, E9) read these counters.
+	Cut []bool
+}
+
+// DefaultMaxRounds bounds runaway executions.
+const DefaultMaxRounds = 1 << 22
+
+// Metrics aggregates everything measured during a run.
+type Metrics struct {
+	// Rounds is the number of synchronous rounds the run took (the
+	// quantity all of the paper's bounds are about).
+	Rounds int
+	// GlobalMsgs is the total number of global-mode messages delivered.
+	GlobalMsgs int64
+	// GlobalBits is GlobalMsgs scaled by the per-message bit size.
+	GlobalBits int64
+	// LocalMsgs is the total number of local-mode messages delivered.
+	LocalMsgs int64
+	// MaxGlobalSend is the maximum number of global messages any node sent
+	// in a single round (never exceeds the cap, which is enforced).
+	MaxGlobalSend int
+	// MaxGlobalRecv is the maximum number of global messages any node
+	// received in a single round (the Lemma D.2 quantity).
+	MaxGlobalRecv int
+	// CutGlobalMsgs / CutGlobalBits count global messages crossing the
+	// configured cut (0 if no cut configured).
+	CutGlobalMsgs int64
+	CutGlobalBits int64
+}
+
+// Log2Ceil returns ceil(log2 n), at least 1.
+func Log2Ceil(n int) int {
+	l := 1
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}
+
+// errAbort is the sentinel used to unwind node goroutines after an abort.
+var errAbort = errors.New("sim: run aborted")
+
+// ErrTooManyRounds is wrapped in the Run error when MaxRounds is hit.
+var ErrTooManyRounds = errors.New("sim: exceeded MaxRounds")
+
+type engine struct {
+	g       *graph.Graph
+	cfg     Config
+	n       int
+	logN    int
+	sendCap int
+	msgBits int64
+
+	envs []*Env
+
+	mu        sync.Mutex
+	release   chan struct{}
+	remaining int32
+	ready     chan struct{} // signaled when remaining hits zero
+
+	aborted atomic.Bool
+	errMu   sync.Mutex
+	err     error
+
+	sharedMu sync.Mutex
+	shared   map[string]interface{}
+
+	generation int
+	metrics    Metrics
+}
+
+// Env is a node's handle to the engine. All methods must be called only
+// from that node's Program goroutine.
+type Env struct {
+	eng *engine
+	id  int
+
+	rng      *rand.Rand
+	round    int
+	finished bool
+
+	outLocal  []localOut
+	outGlobal []GlobalMsg
+
+	inLocal  []LocalMsg
+	inGlobal []GlobalMsg
+
+	globalSentThisRound int
+	countedFinished     bool
+	sharedSeq           map[string]int
+}
+
+type localOut struct {
+	to      int
+	payload interface{}
+}
+
+// Run executes program on every node of g under cfg and returns the
+// collected metrics. It returns an error if any node violated the model
+// (illegal local destination, global send cap exceeded), if the run hit
+// MaxRounds, or if a program panicked.
+func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
+	n := g.N()
+	if n == 0 {
+		return Metrics{}, nil
+	}
+	if cfg.GlobalSendFactor <= 0 {
+		cfg.GlobalSendFactor = 1
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.Cut != nil && len(cfg.Cut) != n {
+		return Metrics{}, fmt.Errorf("sim: cut has %d entries for %d nodes", len(cfg.Cut), n)
+	}
+	logN := Log2Ceil(n)
+	eng := &engine{
+		g:       g,
+		cfg:     cfg,
+		n:       n,
+		logN:    logN,
+		sendCap: cfg.GlobalSendFactor * logN,
+		// src + dst + kind + four fields, all O(log n)-bit quantities.
+		msgBits: int64(6*logN + 16),
+		release: make(chan struct{}),
+		ready:   make(chan struct{}, 1),
+	}
+	src := bitrand.NewSource(cfg.Seed)
+	eng.envs = make([]*Env, n)
+	for i := 0; i < n; i++ {
+		eng.envs[i] = &Env{
+			eng: eng,
+			id:  i,
+			rng: src.Named("node", i),
+		}
+	}
+	atomic.StoreInt32(&eng.remaining, int32(n))
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		env := eng.envs[i]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if r != errAbort { //nolint:errorlint // sentinel identity check
+						eng.fail(fmt.Errorf("sim: node %d panicked: %v", env.id, r))
+					}
+				}
+				env.finished = true
+				env.arrive()
+			}()
+			program(env)
+		}()
+	}
+
+	eng.coordinate()
+	wg.Wait()
+
+	// Round complexity = the maximum number of completed Step barriers over
+	// all nodes (the final finishing generation is not a communication
+	// round).
+	for _, env := range eng.envs {
+		if env.round > eng.metrics.Rounds {
+			eng.metrics.Rounds = env.round
+		}
+	}
+
+	eng.errMu.Lock()
+	err := eng.err
+	eng.errMu.Unlock()
+	return eng.metrics, err
+}
+
+// fail records the first error and flags the abort.
+func (e *engine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.aborted.Store(true)
+}
+
+// coordinate runs the barrier loop: wait for all active nodes, deliver
+// messages, advance the round.
+func (e *engine) coordinate() {
+	active := e.n
+	for {
+		<-e.ready
+		finishedNow := e.deliver()
+		active -= finishedNow
+		if e.generation >= e.cfg.MaxRounds {
+			e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
+		}
+		if active == 0 {
+			// Release any stragglers (none should exist) and stop.
+			e.swapRelease()
+			return
+		}
+		atomic.StoreInt32(&e.remaining, int32(active))
+		e.swapRelease()
+	}
+}
+
+// swapRelease installs a new release channel and closes the old one, waking
+// every node blocked in Step.
+func (e *engine) swapRelease() {
+	e.mu.Lock()
+	old := e.release
+	e.release = make(chan struct{})
+	e.mu.Unlock()
+	close(old)
+}
+
+func (e *engine) currentRelease() chan struct{} {
+	e.mu.Lock()
+	ch := e.release
+	e.mu.Unlock()
+	return ch
+}
+
+// deliver moves every staged outbox into the destination inboxes, updates
+// metrics, and returns how many nodes finished during this round.
+func (e *engine) deliver() int {
+	e.generation++
+	finished := 0
+	recvCount := make([]int, e.n)
+
+	for _, env := range e.envs {
+		if env.globalSentThisRound > e.metrics.MaxGlobalSend {
+			e.metrics.MaxGlobalSend = env.globalSentThisRound
+		}
+		env.globalSentThisRound = 0
+
+		for _, out := range env.outLocal {
+			dst := e.envs[out.to]
+			dst.inLocal = append(dst.inLocal, LocalMsg{From: env.id, Payload: out.payload})
+			e.metrics.LocalMsgs++
+		}
+		env.outLocal = env.outLocal[:0]
+
+		for _, m := range env.outGlobal {
+			dst := e.envs[m.Dst]
+			dst.inGlobal = append(dst.inGlobal, m)
+			recvCount[m.Dst]++
+			e.metrics.GlobalMsgs++
+			e.metrics.GlobalBits += e.msgBits
+			if e.cfg.Cut != nil && e.cfg.Cut[m.Src] != e.cfg.Cut[m.Dst] {
+				e.metrics.CutGlobalMsgs++
+				e.metrics.CutGlobalBits += e.msgBits
+			}
+		}
+		env.outGlobal = env.outGlobal[:0]
+
+		if env.finished && !env.countedFinished {
+			env.countedFinished = true
+			finished++
+		}
+	}
+
+	for dst, c := range recvCount {
+		if c > e.metrics.MaxGlobalRecv {
+			e.metrics.MaxGlobalRecv = c
+		}
+		if f := e.cfg.StrictRecvFactor; f > 0 && c > f*e.logN {
+			e.fail(fmt.Errorf("sim: node %d received %d global messages in generation %d, cap %d",
+				dst, c, e.generation, f*e.logN))
+		}
+	}
+	return finished
+}

@@ -1,0 +1,109 @@
+package skeleton
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// LimitedExplore runs `rounds` rounds of multi-source synchronous
+// Bellman-Ford over the local network: every node with isSource starts a
+// wave, and afterwards every node holds, for each source within `rounds`
+// hops, an estimate dd with d <= dd <= d_rounds (see Result.Near for why
+// the sandwich suffices). It also returns the hop distance at which each
+// source was first heard. Collective; takes exactly `rounds` rounds.
+//
+// This is the local-exploration subroutine shared by Algorithm 6
+// (sources = skeleton nodes) and the APSP/k-SSP algorithms' "learn
+// G up to depth ηh" steps (sources = all nodes, paper Fact 4.2).
+func LimitedExplore(env *sim.Env, isSource bool, rounds int) (map[int]int64, map[int]int) {
+	near := map[int]int64{}
+	hops := map[int]int{}
+	var delta []distUpdate
+	if isSource {
+		near[env.ID()] = 0
+		hops[env.ID()] = 0
+		delta = append(delta, distUpdate{Source: env.ID(), Dist: 0, Hops: 0})
+	}
+	for step := 0; step < rounds; step++ {
+		if len(delta) > 0 {
+			env.BroadcastLocal(delta)
+		}
+		in := env.Step()
+		improved := map[int]distUpdate{}
+		for _, lm := range in.Local {
+			ups, ok := lm.Payload.([]distUpdate)
+			if !ok {
+				continue
+			}
+			w, _ := env.Graph().Weight(env.ID(), lm.From)
+			for _, up := range ups {
+				nd := up.Dist + w
+				cur, seen := near[up.Source]
+				if !seen || nd < cur {
+					near[up.Source] = nd
+					if _, hseen := hops[up.Source]; !hseen {
+						hops[up.Source] = up.Hops + 1
+					}
+					improved[up.Source] = distUpdate{Source: up.Source, Dist: nd, Hops: up.Hops + 1}
+				}
+			}
+		}
+		next := make([]distUpdate, 0, len(improved))
+		for _, up := range improved {
+			next = append(next, up)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].Source < next[j].Source })
+		delta = next
+	}
+	return near, hops
+}
+
+// FloodRecord is one (origin, subject, value) record flooded to a fixed
+// radius, used by the APSP algorithms to distribute skeleton distance
+// labels 〈d(s,v), ID(s), ID(v)〉 into the origin's h-neighborhood (paper §3).
+type FloodRecord struct {
+	Origin  int
+	Subject int
+	Value   int64
+	TTL     int
+}
+
+// FloodLabels floods this node's records to the given radius: every record
+// travels `radius` hops from its origin (first-arrival forwarding, which
+// carries the maximal remaining TTL). It returns all records this node
+// heard, keyed (origin, subject). Collective; takes exactly `radius` rounds.
+func FloodLabels(env *sim.Env, mine []FloodRecord, radius int) map[[2]int]int64 {
+	known := map[[2]int]int64{}
+	var delta []FloodRecord
+	for _, r := range mine {
+		r.TTL = radius
+		known[[2]int{r.Origin, r.Subject}] = r.Value
+		delta = append(delta, r)
+	}
+	for step := 0; step < radius; step++ {
+		if len(delta) > 0 {
+			env.BroadcastLocal(delta)
+		}
+		in := env.Step()
+		var next []FloodRecord
+		for _, lm := range in.Local {
+			recs, ok := lm.Payload.([]FloodRecord)
+			if !ok {
+				continue
+			}
+			for _, r := range recs {
+				key := [2]int{r.Origin, r.Subject}
+				if _, seen := known[key]; seen {
+					continue
+				}
+				known[key] = r.Value
+				if r.TTL > 1 {
+					next = append(next, FloodRecord{Origin: r.Origin, Subject: r.Subject, Value: r.Value, TTL: r.TTL - 1})
+				}
+			}
+		}
+		delta = next
+	}
+	return known
+}

@@ -1,0 +1,44 @@
+// Package sssp provides the single-source shortest path baselines the
+// paper's results are measured against (§1's model comparison and the
+// Theorem 1.3 discussion):
+//
+//   - Local: distributed Bellman-Ford over the LOCAL mode only — exact
+//     after SPD(G) rounds (the quantity in [3]'s O~(sqrt(SPD)) algorithm
+//     that Theorem 1.3 improves on for large-SPD graphs), and the Θ(D)
+//     flooding behavior of any LOCAL-only algorithm.
+//   - The HYBRID algorithms themselves live in package kssp
+//     (Corollary 4.9 / RealBFSingleSource).
+package sssp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// Local runs `rounds` rounds of LOCAL-mode Bellman-Ford from the source and
+// returns this node's distance estimate (graph.Inf if unreached). Exact
+// when rounds >= SPD(G). Collective.
+func Local(env *sim.Env, isSource bool, rounds int) int64 {
+	near, _ := skeleton.LimitedExplore(env, isSource, rounds)
+	best := graph.Inf
+	for _, d := range near {
+		if d < best {
+			best = d
+		}
+	}
+	if !isSource && len(near) == 0 {
+		return graph.Inf
+	}
+	if isSource {
+		return 0
+	}
+	return best
+}
+
+// LocalAll is the k-source variant: sourceIDs must be globally known; the
+// return maps source -> estimate.
+func LocalAll(env *sim.Env, isSource bool, rounds int) map[int]int64 {
+	near, _ := skeleton.LimitedExplore(env, isSource, rounds)
+	return near
+}

@@ -1,0 +1,67 @@
+package hybrid_test
+
+import (
+	"math/rand"
+	"testing"
+
+	hybrid "repro"
+)
+
+func TestNextHopsShortestRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := hybrid.WithRandomWeights(hybrid.GridGraph(6, 6), 8, rng)
+	dist := hybrid.ExactAPSP(g)
+	tables := hybrid.NextHops(g, dist)
+	for s := 0; s < g.N(); s++ {
+		for tt := 0; tt < g.N(); tt++ {
+			if s == tt {
+				if tables[s][tt] != -1 {
+					t.Fatalf("self next hop should be -1")
+				}
+				continue
+			}
+			path := hybrid.FollowRoute(tables, s, tt)
+			if path == nil {
+				t.Fatalf("no route %d->%d", s, tt)
+			}
+			var w int64
+			for i := 1; i < len(path); i++ {
+				ew, ok := g.Weight(path[i-1], path[i])
+				if !ok {
+					t.Fatalf("route %d->%d uses non-edge", s, tt)
+				}
+				w += ew
+			}
+			if w != dist[s][tt] {
+				t.Fatalf("route %d->%d has weight %d, want %d", s, tt, w, dist[s][tt])
+			}
+		}
+	}
+}
+
+func TestNextHopsUnreachable(t *testing.T) {
+	g := hybrid.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	dist := hybrid.ExactAPSP(g)
+	tables := hybrid.NextHops(g, dist)
+	if tables[0][2] != -1 {
+		t.Fatalf("unreachable next hop should be -1")
+	}
+	if hybrid.FollowRoute(tables, 0, 3) != nil {
+		t.Fatalf("FollowRoute should fail across components")
+	}
+}
+
+func TestNextHopsFromAPSPResult(t *testing.T) {
+	g := hybrid.GridGraph(5, 5)
+	res, err := hybrid.New(g, hybrid.WithSeed(23)).APSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := res.NextHops(g)
+	path := hybrid.FollowRoute(tables, 0, 24)
+	if path == nil || int64(len(path)-1) != res.Dist[0][24] {
+		t.Fatalf("corner-to-corner route %v does not realize distance %d", path, res.Dist[0][24])
+	}
+}
