@@ -7,6 +7,7 @@ package hybrid_test
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"sync"
 	"testing"
@@ -114,6 +115,73 @@ func BenchmarkA3SkeletonHFactor(b *testing.B) {
 
 func BenchmarkA4HashIndependence(b *testing.B) {
 	runExperiment(b, "A4", experiments.A4HashIndependence)
+}
+
+// BenchmarkEngineAPSP compares the legacy and sharded round engines on
+// grid-graph APSP (Theorem 1.1) across sizes. Both engines produce
+// byte-identical results (engines_test.go); what this measures is pure
+// engine wall-clock. Sizes above 1024 are opt-in via HYBRID_BENCH_XL=1
+// (pass -timeout 0: the n=16384 instance runs for a long time; see also
+// cmd/hybridsim for one-off XL runs).
+func BenchmarkEngineAPSP(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		side := 1
+		for side*side < n {
+			side++
+		}
+		for _, eng := range []hybrid.Engine{hybrid.EngineLegacy, hybrid.EngineSharded} {
+			b.Run(fmt.Sprintf("n=%d/engine=%s", n, eng), func(b *testing.B) {
+				if n > 1024 && os.Getenv("HYBRID_BENCH_XL") == "" {
+					b.Skip("set HYBRID_BENCH_XL=1 (and -timeout 0) for sizes above 1024")
+				}
+				g := hybrid.GridGraph(side, side)
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					res, err := hybrid.New(g, hybrid.WithSeed(benchSeed), hybrid.WithEngine(eng)).APSP()
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Metrics.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineTokenRouting compares the engines on an all-nodes token
+// routing instance (Theorem 2.2), a workload with dense per-round
+// messaging: the regime the sharded engine's preallocated inboxes and
+// per-shard staging are built for. (internal/sim's engine benchmarks
+// isolate the raw delivery gap.)
+func BenchmarkEngineTokenRouting(b *testing.B) {
+	g := hybrid.GridGraph(32, 32)
+	n := g.N()
+	specs := make([]hybrid.RoutingSpec, n)
+	for v := range specs {
+		next := (v + 1) % n
+		prev := (v - 1 + n) % n
+		specs[v] = hybrid.RoutingSpec{
+			Send:   []hybrid.RoutingToken{{Label: hybrid.RoutingLabel{S: v, R: next}, Value: int64(v)}},
+			Expect: []hybrid.RoutingLabel{{S: prev, R: v}},
+			InS:    true,
+			InR:    true,
+			KS:     1,
+			KR:     1,
+			PS:     1,
+			PR:     1,
+		}
+	}
+	for _, eng := range []hybrid.Engine{hybrid.EngineLegacy, hybrid.EngineSharded} {
+		b.Run(fmt.Sprintf("engine=%s", eng), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := hybrid.New(g, hybrid.WithSeed(benchSeed), hybrid.WithEngine(eng)).TokenRouting(specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFacadeAPSP measures the end-to-end wall-clock cost of the

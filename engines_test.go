@@ -1,0 +1,121 @@
+// Differential tests between the two round engines: for fixed seeds, the
+// legacy goroutine-per-node engine and the sharded v2 engine must produce
+// byte-identical distances, diameter estimates, and cost metrics on every
+// algorithm of the public API. The legacy engine is the oracle; any
+// divergence is an engine bug by definition.
+package hybrid_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	hybrid "repro"
+)
+
+// engineSuite returns the small graph suite the differential tests run on:
+// a grid, a random sparse graph, and a path (worst case for flooding).
+func engineSuite(t *testing.T) map[string]*hybrid.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	suite := map[string]*hybrid.Graph{
+		"grid":   hybrid.GridGraph(7, 7),
+		"random": hybrid.SparseGraph(48, 1.4, rng),
+		"path":   hybrid.PathGraph(40),
+	}
+	suite["weighted-grid"] = hybrid.WithRandomWeights(hybrid.GridGraph(6, 6), 9, rng)
+	return suite
+}
+
+func bothEngines(t *testing.T, g *hybrid.Graph, seed int64) (legacy, sharded *hybrid.Network) {
+	t.Helper()
+	return hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(hybrid.EngineLegacy)),
+		hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(hybrid.EngineSharded))
+}
+
+func TestEnginesAgreeAPSP(t *testing.T) {
+	for name, g := range engineSuite(t) {
+		legacy, sharded := bothEngines(t, g, 101)
+		lres, err := legacy.APSP()
+		if err != nil {
+			t.Fatalf("%s legacy: %v", name, err)
+		}
+		sres, err := sharded.APSP()
+		if err != nil {
+			t.Fatalf("%s sharded: %v", name, err)
+		}
+		if !reflect.DeepEqual(lres.Dist, sres.Dist) {
+			t.Errorf("%s: APSP distance matrices differ between engines", name)
+		}
+		if lres.Metrics != sres.Metrics {
+			t.Errorf("%s: APSP metrics differ: legacy %+v sharded %+v", name, lres.Metrics, sres.Metrics)
+		}
+		// The oracle itself must be exact.
+		if want := hybrid.ExactAPSP(g); !reflect.DeepEqual(lres.Dist, want) {
+			t.Errorf("%s: legacy APSP diverges from sequential ground truth", name)
+		}
+	}
+}
+
+func TestEnginesAgreeSSSP(t *testing.T) {
+	for name, g := range engineSuite(t) {
+		legacy, sharded := bothEngines(t, g, 202)
+		lres, err := legacy.SSSP(0)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", name, err)
+		}
+		sres, err := sharded.SSSP(0)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", name, err)
+		}
+		if !reflect.DeepEqual(lres.Dist, sres.Dist) {
+			t.Errorf("%s: SSSP distances differ between engines", name)
+		}
+		if lres.Metrics.Rounds != sres.Metrics.Rounds {
+			t.Errorf("%s: SSSP round counts differ: %d vs %d", name, lres.Metrics.Rounds, sres.Metrics.Rounds)
+		}
+	}
+}
+
+func TestEnginesAgreeDiameter(t *testing.T) {
+	for name, g := range engineSuite(t) {
+		if name == "weighted-grid" {
+			continue // Diameter is defined on unweighted graphs.
+		}
+		legacy, sharded := bothEngines(t, g, 303)
+		lres, err := legacy.Diameter(hybrid.DiameterCor52, 0.5)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", name, err)
+		}
+		sres, err := sharded.Diameter(hybrid.DiameterCor52, 0.5)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", name, err)
+		}
+		if lres.Estimate != sres.Estimate {
+			t.Errorf("%s: diameter estimates differ: %d vs %d", name, lres.Estimate, sres.Estimate)
+		}
+		if lres.Metrics != sres.Metrics {
+			t.Errorf("%s: diameter metrics differ", name)
+		}
+	}
+}
+
+func TestEnginesAgreeKSSP(t *testing.T) {
+	g := hybrid.GridGraph(6, 6)
+	legacy, sharded := bothEngines(t, g, 404)
+	sources := []int{0, 17, 35}
+	lres, err := legacy.KSSP(sources, hybrid.VariantCor47, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sharded.KSSP(sources, hybrid.VariantCor47, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lres.Dist, sres.Dist) {
+		t.Error("KSSP estimates differ between engines")
+	}
+	if lres.Metrics != sres.Metrics {
+		t.Errorf("KSSP metrics differ: legacy %+v sharded %+v", lres.Metrics, sres.Metrics)
+	}
+}

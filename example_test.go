@@ -45,6 +45,52 @@ func ExampleNetwork_Diameter() {
 	// Output: estimate: 8
 }
 
+// Approximate k-source shortest paths (Theorem 1.2): Corollary 4.6 gives a
+// (1+ε)-approximation on unweighted graphs for up to n^(1/3) sources.
+func ExampleNetwork_KSSP() {
+	g := hybrid.GridGraph(6, 6)
+	net := hybrid.New(g, hybrid.WithSeed(4))
+	sources := []int{0, 35}
+	res, err := net.KSSP(sources, hybrid.VariantCor46, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// res.Dist[v][s] is node v's estimate of d(v, s).
+	fmt.Println("node 35 to source 0:", res.Dist[35][0])
+	fmt.Println("node 0 to source 35:", res.Dist[0][35])
+	// Output:
+	// node 35 to source 0: 10
+	// node 0 to source 35: 10
+}
+
+// The token routing protocol of Theorem 2.2, exposed directly: every node
+// ships one token to its successor on a cycle, in O~(K/n + sqrt(kS) +
+// sqrt(kR)) rounds. Receivers know the labels they expect (the problem
+// statement's convention) and get the payloads filled in.
+func ExampleNetwork_TokenRouting() {
+	g := hybrid.CycleGraph(8)
+	n := g.N()
+	specs := make([]hybrid.RoutingSpec, n)
+	for v := 0; v < n; v++ {
+		next := (v + 1) % n
+		prev := (v - 1 + n) % n
+		specs[v] = hybrid.RoutingSpec{
+			Send:   []hybrid.RoutingToken{{Label: hybrid.RoutingLabel{S: v, R: next}, Value: int64(100 + v)}},
+			Expect: []hybrid.RoutingLabel{{S: prev, R: v}},
+			InS:    true, InR: true,
+			KS: 1, KR: 1,
+			PS: 1, PR: 1,
+		}
+	}
+	net := hybrid.New(g, hybrid.WithSeed(5))
+	got, _, err := net.TokenRouting(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("node 0 received:", got[0][0].Value, "from", got[0][0].S)
+	// Output: node 0 received: 107 from 7
+}
+
 // Forwarding tables from an APSP result — the paper's IP-routing
 // motivation.
 func ExampleNextHops() {

@@ -7,9 +7,13 @@
 // {0..n-1}: a LOCAL mode with unbounded bandwidth along the edges of a
 // local graph G, and an NCC-style global mode in which every node may send
 // O(log n) messages of O(log n) bits per round to arbitrary nodes. The
-// package runs real message-passing node programs (one goroutine per node,
-// synchronous round barrier) and reports the paper's cost measures: rounds,
-// global messages, per-round load.
+// package runs real message-passing node programs under a synchronous
+// round barrier and reports the paper's cost measures: rounds, global
+// messages, per-round load. Two interchangeable round engines execute the
+// programs (WithEngine): the sharded worker-pool engine (default) and the
+// legacy goroutine-per-node engine, which is kept as a differential-
+// testing oracle — both produce byte-identical results and Metrics for a
+// fixed seed.
 //
 // Results implemented (all exact/approximation guarantees are verified by
 // the test suite against sequential ground truth):
@@ -17,7 +21,7 @@
 //   - Theorem 1.1: exact APSP in O~(sqrt n) rounds — Network.APSP.
 //   - The O~(n^(2/3)) APSP of Augustine et al. it improves on —
 //     Network.APSPBaseline.
-//   - Theorem 2.2: the token routing protocol — Network.RouteTokens.
+//   - Theorem 2.2: the token routing protocol — Network.TokenRouting.
 //   - Theorem 1.2 / Corollaries 4.6-4.8: approximate k-SSP — Network.KSSP.
 //   - Theorem 1.3 / Corollary 4.9: exact SSSP in O~(n^(2/5)) — Network.SSSP.
 //   - Theorem 1.4 / Corollaries 5.2-5.3: diameter approximation —
@@ -49,6 +53,21 @@ import (
 // Metrics is the per-run cost report (rounds, message counts, peak loads).
 type Metrics = sim.Metrics
 
+// Engine selects the round-engine implementation executing the node
+// programs; see WithEngine.
+type Engine = sim.Engine
+
+const (
+	// EngineSharded is the default engine (sim v2): per-shard message
+	// staging, worker-pool delivery, preallocated and reused inboxes.
+	EngineSharded = sim.EngineSharded
+	// EngineLegacy is the original goroutine-per-node engine with a single
+	// delivery coordinator. It is slower but maximally simple, and is kept
+	// as a differential-testing oracle: for any fixed seed both engines
+	// produce byte-identical results and Metrics.
+	EngineLegacy = sim.EngineLegacy
+)
+
 // Network wraps a local communication graph with run configuration.
 type Network struct {
 	g   *graph.Graph
@@ -61,6 +80,13 @@ type Option func(*Network)
 // WithSeed roots all of the run's randomness (fully reproducible runs).
 func WithSeed(seed int64) Option {
 	return func(nw *Network) { nw.cfg.Seed = seed }
+}
+
+// WithEngine selects the round engine (default EngineSharded). Engines
+// change wall-clock speed only: results and Metrics are engine-independent
+// for a fixed seed.
+func WithEngine(e Engine) Option {
+	return func(nw *Network) { nw.cfg.Engine = e }
 }
 
 // WithGlobalSendFactor scales the global-mode cap: each node may send
@@ -310,9 +336,21 @@ func (nw *Network) WeightedDiameterApprox() (*DiameterResult, error) {
 	return &DiameterResult{Estimate: out[0], Metrics: m}, nil
 }
 
+// RoutingSpec is one node's view of a token routing instance
+// (Theorem 2.2): the tokens it sends, the labels it expects, and the
+// globally known instance parameters. See routing.Spec for field docs.
+type RoutingSpec = routing.Spec
+
+// RoutingToken is one routed token: a RoutingLabel plus its O(log n)-bit
+// payload.
+type RoutingToken = routing.Token
+
+// RoutingLabel identifies a token by (sender, receiver, index).
+type RoutingLabel = routing.Label
+
 // TokenRouting exposes Theorem 2.2 directly: route the given tokens
 // (specs[v] is node v's view) and return each node's received tokens.
-func (nw *Network) TokenRouting(specs []routing.Spec) ([][]routing.Token, Metrics, error) {
+func (nw *Network) TokenRouting(specs []RoutingSpec) ([][]RoutingToken, Metrics, error) {
 	if len(specs) != nw.g.N() {
 		return nil, Metrics{}, fmt.Errorf("hybrid: %d specs for %d nodes", len(specs), nw.g.N())
 	}

@@ -31,8 +31,10 @@ type Value struct {
 
 // Slot is one outgoing message slot in the oblivious schedule: the
 // destination node and a tag distinguishing concurrent messages between the
-// same pair. Tags must be unique per (src, dst, round) and fit in 30 bits
-// (they become token-label indices in the HYBRID simulation).
+// same pair. Tags must be unique per (src, dst, round) and stay below 2^29:
+// they become token-label indices I = 2·tag+1 in the HYBRID simulation,
+// which requires I < 2^30 (routing.Label.pack enforces this at runtime;
+// clique_test.go's TestMMTagsFitRoutingLabels checks the MM schedules).
 type Slot struct {
 	Dst int
 	Tag int64

@@ -25,7 +25,7 @@ func E1TokenRouting(cfg Config) Table {
 	}
 	sizes := []int{64, 144}
 	if !cfg.Quick {
-		sizes = append(sizes, 256)
+		sizes = append(sizes, 256, 400)
 	}
 	for _, n := range sizes {
 		for _, tokensPerSender := range []int{2, 8} {
@@ -125,7 +125,7 @@ func E2HelperSets(cfg Config) Table {
 	}
 	sizes := []int{100}
 	if !cfg.Quick {
-		sizes = append(sizes, 196)
+		sizes = append(sizes, 196, 324)
 	}
 	for _, n := range sizes {
 		for _, p := range []float64{0.1, 0.3} {
@@ -204,7 +204,7 @@ func E3APSP(cfg Config) Table {
 	}
 	sizes := []int{64, 144}
 	if !cfg.Quick {
-		sizes = append(sizes, 256)
+		sizes = append(sizes, 256, 400)
 	}
 	var ns, newRounds, baseRounds []float64
 	for _, n := range sizes {

@@ -23,7 +23,7 @@ func E5KSSP(cfg Config) Table {
 	}
 	n := 100
 	if !cfg.Quick {
-		n = 196
+		n = 256
 	}
 	// A weighted path: hop diameter n-1 far exceeds the ηh local
 	// exploration radius, so the representative/skeleton machinery (not
@@ -126,7 +126,7 @@ func E6SSSP(cfg Config) Table {
 	}
 	sizes := []int{100}
 	if !cfg.Quick {
-		sizes = append(sizes, 256)
+		sizes = append(sizes, 256, 400)
 	}
 	var ns, rounds []float64
 	for _, n := range sizes {
@@ -210,7 +210,7 @@ func E7Diameter(cfg Config) Table {
 	}
 	n := 100
 	if !cfg.Quick {
-		n = 225
+		n = 324
 	}
 	eps := 0.5
 	graphs := []struct {

@@ -24,7 +24,7 @@ func E9DiameterLowerBound(cfg Config) Table {
 	}
 	targets := []int{200, 1000}
 	if !cfg.Quick {
-		targets = append(targets, 5000)
+		targets = append(targets, 5000, 20000)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 9))
 	for _, n := range targets {
@@ -90,7 +90,7 @@ func E10RecvLoad(cfg Config) Table {
 	}
 	sizes := []int{64, 144}
 	if !cfg.Quick {
-		sizes = append(sizes, 256)
+		sizes = append(sizes, 256, 400)
 	}
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
@@ -126,7 +126,7 @@ func E11ModeComparison(cfg Config) Table {
 	}
 	n := 100
 	if !cfg.Quick {
-		n = 196
+		n = 256
 	}
 	graphs := []struct {
 		name string

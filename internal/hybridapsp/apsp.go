@@ -100,30 +100,34 @@ func Compute(env *sim.Env, params Params) []int64 {
 	got := session.Route(send, expect)
 
 	// Phase 4: skeleton nodes flood their distance vectors to radius h.
-	var mine []skeleton.FloodRecord
-	if skel.InSkeleton {
-		mine = make([]skeleton.FloodRecord, 0, len(got))
+	var mine []int64
+	if skel.InSkeleton && len(got) > 0 {
+		mine = make([]int64, n)
+		for v := range mine {
+			mine[v] = -1
+		}
 		for _, t := range got {
-			mine = append(mine, skeleton.FloodRecord{Origin: env.ID(), Subject: t.S, Value: t.Value})
+			mine[t.S] = t.Value
 		}
 	}
-	labels := skeleton.FloodLabels(env, mine, h)
+	labels := skeleton.FloodVectors(env, mine, h)
 
-	// Final combine: local estimate vs routes through nearby skeletons.
-	out := make([]int64, n)
-	for v := 0; v < n; v++ {
-		best := graph.Inf
-		if d, ok := local[v]; ok {
-			best = d
+	// Final combine: local estimate vs routes through nearby skeletons. The
+	// dense exploration vector already holds Inf for unreached nodes, so it
+	// doubles as the output accumulator.
+	out := local
+	for s, ds := range skel.Near {
+		vec := labels[s]
+		if vec == nil {
+			continue
 		}
-		for s, ds := range skel.Near {
-			if dv, ok := labels[[2]int{s, v}]; ok {
-				if cand := satAdd(ds, dv); cand < best {
-					best = cand
+		for v := 0; v < n; v++ {
+			if dv := vec[v]; dv >= 0 {
+				if cand := satAdd(ds, dv); cand < out[v] {
+					out[v] = cand
 				}
 			}
 		}
-		out[v] = best
 	}
 	return out
 }
@@ -231,35 +235,39 @@ func BaselineCompute(env *sim.Env, params Params) []int64 {
 	totalCount := int(ncc.Aggregate(env, int64(myCount), ncc.AggSum))
 	all := ncc.Disseminate(env, mine, totalCount, maxCount, params.Dissemination)
 
-	// Labels: dd(v, s) indexed by (skeleton rank, node).
-	lab := make(map[[2]int]int64, len(all))
+	// Labels: dd(v, s) as a dense (skeleton rank, node) matrix, -1 = absent.
+	lab := make([]int64, len(members)*n)
+	for i := range lab {
+		lab[i] = -1
+	}
 	for _, t := range all {
 		if i, ok := rank[int(t.A)]; ok {
-			lab[[2]int{i, int(t.B)}] = t.C
+			lab[i*n+int(t.B)] = t.C
 		}
 	}
 
-	out := make([]int64, n)
-	for v := 0; v < n; v++ {
-		best := graph.Inf
-		if d, ok := local[v]; ok {
-			best = d
+	// min over s1 near me, s2 near v of dd(me,s1)+d_S(s1,s2)+dd(v,s2); the
+	// dense exploration vector doubles as the accumulator.
+	out := local
+	for s1, d1 := range skel.Near {
+		i, ok := rank[s1]
+		if !ok {
+			continue
 		}
-		// min over s1 near me, s2 near v of dd(me,s1)+d_S(s1,s2)+dd(v,s2).
-		for s1, d1 := range skel.Near {
-			i, ok := rank[s1]
-			if !ok {
+		for j := range members {
+			row := lab[j*n : (j+1)*n]
+			base := satAdd(d1, dS[i][j])
+			if base >= graph.Inf {
 				continue
 			}
-			for j := range members {
-				if dv, ok := lab[[2]int{j, v}]; ok {
-					if cand := satAdd(d1, satAdd(dS[i][j], dv)); cand < best {
-						best = cand
+			for v := 0; v < n; v++ {
+				if dv := row[v]; dv >= 0 {
+					if cand := satAdd(base, dv); cand < out[v] {
+						out[v] = cand
 					}
 				}
 			}
 		}
-		out[v] = best
 	}
 	return out
 }
@@ -269,13 +277,5 @@ func BaselineCompute(env *sim.Env, params Params) []int64 {
 // (paper §1); rounds must be at least the hop diameter for exact results.
 func LocalCompute(env *sim.Env, rounds int) []int64 {
 	local, _ := skeleton.LimitedExplore(env, true, rounds)
-	out := make([]int64, env.N())
-	for v := range out {
-		if d, ok := local[v]; ok {
-			out[v] = d
-		} else {
-			out[v] = graph.Inf
-		}
-	}
-	return out
+	return local // dense, with graph.Inf marking unreached nodes
 }

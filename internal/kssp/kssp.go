@@ -131,7 +131,7 @@ func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Param
 	// list; the column of rep(s) in the node's output vector is found via
 	// the algorithm's Sources() (all nodes for APSP algorithms, the source
 	// index list otherwise).
-	var mine []skeleton.FloodRecord
+	var mine []int64
 	if simRes.Index >= 0 && simRes.Node != nil {
 		if dn, ok := simRes.Node.(clique.DistanceNode); ok {
 			dists := dn.Distances()
@@ -145,7 +145,11 @@ func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Param
 					col[s] = ci
 				}
 			}
-			mine = make([]skeleton.FloodRecord, 0, len(reps))
+			vals := make([]int64, len(reps))
+			for oi := range vals {
+				vals[oi] = -1
+			}
+			count := 0
 			for oi, ri := range reps {
 				i, inClique := memberRank[ri.Rep]
 				if !inClique {
@@ -155,29 +159,30 @@ func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Param
 				if !hasCol || c >= len(dists) {
 					continue
 				}
-				mine = append(mine, skeleton.FloodRecord{
-					Origin:  env.ID(),
-					Subject: oi,
-					Value:   dists[c],
-				})
+				vals[oi] = dists[c]
+				count++
+			}
+			if count > 0 {
+				mine = vals
 			}
 		}
 	}
-	labels := skeleton.FloodLabels(env, mine, h)
+	labels := skeleton.FloodVectors(env, mine, h)
 
 	// Combine per Equation (1):
 	// d~(v,s) = min(d_ηh(v,s), min_u d_h(v,u) + d~(u,r_s) + d_h(r_s,s)).
 	out := make([]SourceDist, 0, len(reps))
 	srcOrder := orderedSourceIndex(simRes, reps)
 	for _, ri := range reps {
-		best := graph.Inf
-		if d, ok := local[ri.Source]; ok {
-			best = d
-		}
+		best := local[ri.Source]
 		oi, hasRep := srcOrder[ri.Source]
 		if hasRep {
 			for u, du := range skel.Near {
-				if dv, ok := labels[[2]int{u, oi}]; ok {
+				vec := labels[u]
+				if vec == nil {
+					continue
+				}
+				if dv := vec[oi]; dv >= 0 {
 					if cand := satAdd(du, satAdd(dv, ri.Dist)); cand < best {
 						best = cand
 					}

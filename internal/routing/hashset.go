@@ -1,0 +1,172 @@
+package routing
+
+// Open-addressed hash containers for packed labels. The flood dedup sets
+// are the protocol's hottest data structure (every record is checked once
+// per neighbor arrival), and they are cleared and refilled to a similar
+// size every Route call — a reusable flat table with a multiplicative hash
+// beats the generic map by a large constant factor and stops allocating
+// after the first call.
+
+// hashU64 spreads a packed label over the table. The table index is taken
+// from the LOW bits of the result, and packed labels vary mostly in their
+// HIGH bits (S sits at bit 44), so this must be a full-avalanche mix — a
+// plain multiply would park every label in one probe chain. splitmix64
+// finalizer.
+func hashU64(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+// u64set is a linear-probe set of uint64 keys. Keys are stored offset by
+// one so the zero word means "empty"; pack() values stay below 2^58, so
+// the offset cannot wrap.
+type u64set struct {
+	tab  []uint64
+	used int
+}
+
+// reset empties the set, keeping capacity.
+func (s *u64set) reset() {
+	if s.used > 0 {
+		clear(s.tab)
+		s.used = 0
+	}
+}
+
+// add inserts k and reports whether it was absent.
+func (s *u64set) add(k uint64) bool {
+	if s.used*4 >= len(s.tab)*3 {
+		s.grow()
+	}
+	v := k + 1
+	mask := uint64(len(s.tab) - 1)
+	i := hashU64(k) & mask
+	for {
+		switch s.tab[i] {
+		case 0:
+			s.tab[i] = v
+			s.used++
+			return true
+		case v:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *u64set) grow() {
+	old := s.tab
+	size := 64
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	s.tab = make([]uint64, size)
+	s.used = 0
+	for _, v := range old {
+		if v != 0 {
+			s.reinsert(v)
+		}
+	}
+}
+
+func (s *u64set) reinsert(v uint64) {
+	mask := uint64(len(s.tab) - 1)
+	i := hashU64(v-1) & mask
+	for s.tab[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.tab[i] = v
+	s.used++
+}
+
+// u64map is a linear-probe map from uint64 keys to int64 values, with the
+// same storage scheme as u64set.
+type u64map struct {
+	keys []uint64
+	vals []int64
+	used int
+}
+
+// reset empties the map, keeping capacity.
+func (m *u64map) reset() {
+	if m.used > 0 {
+		clear(m.keys)
+		m.used = 0
+	}
+}
+
+// put inserts or overwrites k.
+func (m *u64map) put(k uint64, val int64) {
+	if m.used*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	v := k + 1
+	mask := uint64(len(m.keys) - 1)
+	i := hashU64(k) & mask
+	for {
+		switch m.keys[i] {
+		case 0:
+			m.keys[i] = v
+			m.vals[i] = val
+			m.used++
+			return
+		case v:
+			m.vals[i] = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get looks k up.
+func (m *u64map) get(k uint64) (int64, bool) {
+	if m.used == 0 {
+		return 0, false
+	}
+	v := k + 1
+	mask := uint64(len(m.keys) - 1)
+	i := hashU64(k) & mask
+	for {
+		switch m.keys[i] {
+		case 0:
+			return 0, false
+		case v:
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// len returns the number of live entries.
+func (m *u64map) len() int { return m.used }
+
+func (m *u64map) grow() {
+	oldK, oldV := m.keys, m.vals
+	size := 64
+	if len(oldK) > 0 {
+		size = len(oldK) * 2
+	}
+	m.keys = make([]uint64, size)
+	m.vals = make([]int64, size)
+	m.used = 0
+	for i, v := range oldK {
+		if v != 0 {
+			m.reinsertKV(v, oldV[i])
+		}
+	}
+}
+
+func (m *u64map) reinsertKV(v uint64, val int64) {
+	mask := uint64(len(m.keys) - 1)
+	i := hashU64(v-1) & mask
+	for m.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	m.keys[i] = v
+	m.vals[i] = val
+	m.used++
+}

@@ -57,11 +57,17 @@ type Token struct {
 	Value int64
 }
 
-// pack encodes a label as a field element for hashing. Distinct labels map
-// to distinct keys for n < 2^14 and i < 2^30 (the CLIQUE simulation uses
-// large i tags), staying below the Mersenne prime 2^61-1.
+// pack encodes a label as a field element for hashing and as the exact key
+// of the intermediate token store, staying below the Mersenne prime
+// 2^61-1. Injectivity requires IDs < 2^14 (checked by NewSession) and
+// I < 2^30 (checked here; clique.Slot caps tags at 2^29, so the CLIQUE
+// simulation's I = 2·tag+1 always fits). Out-of-range indices panic,
+// surfacing as a run error via sim.Run, rather than silently aliasing.
 func (l Label) pack() uint64 {
-	return uint64(l.S)<<44 | uint64(l.R)<<30 | uint64(l.I&0x3fffffff)
+	if uint64(l.I) >= 1<<30 {
+		panic(fmt.Errorf("routing: token index %d exceeds the 2^30 label-key limit", l.I))
+	}
+	return uint64(l.S)<<44 | uint64(l.R)<<30 | uint64(l.I)
 }
 
 // Spec is one node's view of a token routing instance. KS, KR, PS and PR
@@ -125,19 +131,40 @@ type helperAnnounce struct {
 	Helper int
 }
 
-// tokenFlood carries a sender's token (or a receiver's expected label,
-// Value ignored) through its cluster during Routing-Preparation.
-type tokenFlood struct {
+// tokenBatch carries one owner's complete item batch (its tokens, or its
+// expected labels with Value ignored) through its cluster during
+// Routing-Preparation. An owner's items enter the flood together at the
+// owner and spread by first-arrival forwarding, so they provably travel in
+// lockstep; flooding them as one immutable shared batch is
+// message-for-message identical to flooding the records individually, but
+// needs one dedup check and one stored slice header per (node, owner)
+// instead of per record. Items must never be mutated by a receiver.
+type tokenBatch struct {
 	Ruler int
-	Owner int // the sender or receiver the item belongs to
-	Tok   Token
+	Owner int // the sender or receiver the items belong to
+	Items []Token
 }
 
-// deliveredRec carries an answered token from a receiver-helper back to the
-// receiver through the cluster.
-type deliveredRec struct {
-	Ruler int
-	Tok   Token
+// deliveredBatch carries one receiver-helper's answered tokens back
+// through the cluster. Helpers hold disjoint label sets (labels are
+// partitioned among a receiver's helpers by rank), and a helper injects
+// its batch exactly once, so per-injector dedup is equivalent to
+// per-label dedup.
+type deliveredBatch struct {
+	Ruler    int
+	Injector int
+	Items    []Token
+}
+
+// family bundles one helper family (Algorithm 1 output) with its
+// cluster-local directory and the per-owner batch directory of the
+// current spread call (reused across Route calls).
+type family struct {
+	res        helpers.Result
+	mu         int
+	helperSets map[int][]int
+	myOwners   []int // owners whose helper set contains this node, sorted
+	items      map[int][]Token
 }
 
 // Session holds the token-independent state of the protocol: the helper
@@ -147,21 +174,37 @@ type deliveredRec struct {
 // session re-uses Algorithm 1's output, which the paper's cost accounting
 // permits (helper sets depend only on S, R and µ, not on the tokens).
 type Session struct {
-	env        *sim.Env
-	params     Params
-	muS, muR   int
-	resS, resR helpers.Result
-	helpersS   map[int][]int
-	helpersR   map[int][]int
-	hash       *bitrand.KWiseHash
+	env    *sim.Env
+	params Params
+	famS   family
+	famR   family
+	hash   *bitrand.KWiseHash
+
+	// inter parks tokens at this node in its intermediate role, keyed by
+	// Label.pack() — injective under the package invariants (IDs < 2^14,
+	// I < 2^30; see Label.pack and clique.Slot's tag contract). Reused
+	// across Route calls.
+	inter      u64map
+	replyQueue []reply
+}
+
+// reply is one queued intermediate-to-receiver-helper answer.
+type reply struct {
+	to  int
+	tok Token
 }
 
 // NewSession computes helper families for the given sender/receiver
 // membership and broadcasts the hash seed. Collective; all nodes must agree
-// on kS, kR, pS, pR and params.
+// on kS, kR, pS, pR and params. The protocol's label keys (Label.pack)
+// are injective only for node IDs below 2^14, so larger networks are
+// rejected (the panic surfaces as a run error via sim.Run).
 func NewSession(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, params Params) *Session {
 	p := params.withDefaults()
 	n := env.N()
+	if n > 1<<14 {
+		panic(fmt.Errorf("routing: n = %d exceeds the 2^14 node-ID limit of the label keying (Label.pack)", n))
+	}
 	logN := sim.Log2Ceil(n)
 
 	muS := p.MuS
@@ -198,14 +241,14 @@ func NewSession(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, params 
 	s := &Session{
 		env:    env,
 		params: p,
-		muS:    muS,
-		muR:    muR,
-		resS:   resS,
-		resR:   resR,
+		famS:   family{res: resS, mu: muS, items: map[int][]Token{}},
+		famR:   family{res: resR, mu: muR, items: map[int][]Token{}},
 		hash:   bitrand.FromSeed(seed, n),
 	}
-	s.helpersS = announceHelpers(env, resS, muS)
-	s.helpersR = announceHelpers(env, resR, muR)
+	s.famS.helperSets = announceHelpers(env, resS, muS)
+	s.famR.helperSets = announceHelpers(env, resR, muR)
+	s.famS.myOwners = helpersOf(env.ID(), s.famS.helperSets)
+	s.famR.myOwners = helpersOf(env.ID(), s.famR.helperSets)
 	return s
 }
 
@@ -225,25 +268,24 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 	env := s.env
 	budget := env.GlobalCap()
 	hash := s.hash
-	resS, resR := s.resS, s.resR
-	muS, muR := s.muS, s.muR
 
 	// Algorithm 3, second loop: flood tokens and expected labels to the
 	// clusters; helpers pick their balanced share by rank.
 	sendTokens := canonicalTokens(send)
-	myTokenJobs := spreadItems(env, resS, muS, sendTokens, s.helpersS)
+	myTokenJobs := s.famS.spread(env, sendTokens)
 	expectTokens := make([]Token, len(expect))
 	for i, l := range expect {
 		expectTokens[i] = Token{Label: l}
 	}
 	expectTokens = canonicalTokens(expectTokens)
-	myLabelJobs := spreadItems(env, resR, muR, expectTokens, s.helpersR)
+	myLabelJobs := s.famR.spread(env, expectTokens)
 
 	// Algorithm 4: forward tokens to intermediates. The phase length is the
 	// exact global maximum load, aggregated in O(log n) rounds.
 	maxSend := int(ncc.Aggregate(env, int64(len(myTokenJobs)), ncc.AggMax))
 	fwdRounds := ceilDiv(maxSend, budget)
-	inter := make(map[Label]int64)
+	inter := &s.inter
+	inter.reset()
 	ji := 0
 	for round := 0; round < fwdRounds; round++ {
 		for s := 0; s < budget && ji < len(myTokenJobs); s++ {
@@ -254,7 +296,7 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 		in := env.Step()
 		for _, gm := range in.Global {
 			if gm.Kind == kindToken {
-				inter[Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}] = gm.F3
+				inter.put(Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}.pack(), gm.F3)
 			}
 		}
 	}
@@ -263,15 +305,12 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 	// intermediates answer, pacing replies at the cap. Drain time is
 	// bounded by the max number of tokens parked at one intermediate.
 	maxReq := int(ncc.Aggregate(env, int64(len(myLabelJobs)), ncc.AggMax))
-	maxHeld := int(ncc.Aggregate(env, int64(len(inter)), ncc.AggMax))
+	maxHeld := int(ncc.Aggregate(env, int64(inter.len()), ncc.AggMax))
 	reqRounds := ceilDiv(maxReq, budget) + ceilDiv(maxHeld, budget) + 1
 
 	var gotTokens []Token
-	type reply struct {
-		to  int
-		tok Token
-	}
-	var replyQueue []reply
+	replyQueue := s.replyQueue[:0]
+	rq := 0 // head of the reply queue
 	li := 0
 	for round := 0; round < reqRounds; round++ {
 		sent := 0
@@ -281,9 +320,9 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 			env.SendGlobal(hash.Hash(l.pack()), kindRequest, int64(l.S), int64(l.R), l.I, 0)
 		}
 		// Remaining budget answers queued requests.
-		for ; sent < budget && len(replyQueue) > 0; sent++ {
-			r := replyQueue[0]
-			replyQueue = replyQueue[1:]
+		for ; sent < budget && rq < len(replyQueue); sent++ {
+			r := replyQueue[rq]
+			rq++
 			env.SendGlobal(r.to, kindAnswer, int64(r.tok.S), int64(r.tok.R), r.tok.I, r.tok.Value)
 		}
 		in := env.Step()
@@ -291,7 +330,7 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 			switch gm.Kind {
 			case kindRequest:
 				l := Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}
-				if v, ok := inter[l]; ok {
+				if v, ok := inter.get(l.pack()); ok {
 					replyQueue = append(replyQueue, reply{to: gm.Src, tok: Token{Label: l, Value: v}})
 				}
 			case kindAnswer:
@@ -305,15 +344,15 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 	// Flush any replies still queued (possible when requests bunched up in
 	// the final rounds): drain with a short aggregated extension.
 	for {
-		left := int(ncc.Aggregate(env, int64(len(replyQueue)), ncc.AggMax))
+		left := int(ncc.Aggregate(env, int64(len(replyQueue)-rq), ncc.AggMax))
 		if left == 0 {
 			break
 		}
 		for i := 0; i < ceilDiv(left, budget); i++ {
 			sent := 0
-			for ; sent < budget && len(replyQueue) > 0; sent++ {
-				r := replyQueue[0]
-				replyQueue = replyQueue[1:]
+			for ; sent < budget && rq < len(replyQueue); sent++ {
+				r := replyQueue[rq]
+				rq++
 				env.SendGlobal(r.to, kindAnswer, int64(r.tok.S), int64(r.tok.R), r.tok.I, r.tok.Value)
 			}
 			in := env.Step()
@@ -327,26 +366,35 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 			}
 		}
 	}
+	s.replyQueue = replyQueue
 
 	// Receivers collect tokens from their helpers via cluster-local
 	// flooding (final loop of Algorithm 4).
-	collected := collectAtReceivers(env, resR, muR, gotTokens)
+	collected := s.collect(env, gotTokens)
 	return canonicalTokens(collected)
 }
 
 // announceHelpers floods (w, helper) pairs within clusters for 2β rounds so
 // that all cluster members agree on each H_w. It returns the helper
-// directory of this node's cluster (w -> sorted helper IDs).
+// directory of this node's cluster (w -> sorted helper IDs). Dedup is by
+// the packed pair (w, helper), both below 2^31.
 func announceHelpers(env *sim.Env, res helpers.Result, mu int) map[int][]int {
 	n := env.N()
 	beta := 2 * mu * sim.Log2Ceil(n)
-	type key struct{ w, helper int }
-	known := map[key]bool{}
+	pair := func(w, helper int) uint64 { return uint64(w)<<32 | uint64(uint32(helper)) }
+	var known u64set
+	sets := map[int][]int{}
+	record := func(w, helper int) bool {
+		if known.add(pair(w, helper)) {
+			sets[w] = append(sets[w], helper)
+			return true
+		}
+		return false
+	}
 	var delta []helperAnnounce
 	for _, w := range res.Helps {
-		a := helperAnnounce{Ruler: res.Ruler, W: w, Helper: env.ID()}
-		known[key{w, env.ID()}] = true
-		delta = append(delta, a)
+		record(w, env.ID())
+		delta = append(delta, helperAnnounce{Ruler: res.Ruler, W: w, Helper: env.ID()})
 	}
 	for step := 0; step < 2*beta; step++ {
 		if len(delta) > 0 {
@@ -363,18 +411,12 @@ func announceHelpers(env *sim.Env, res helpers.Result, mu int) map[int][]int {
 				if a.Ruler != res.Ruler {
 					continue
 				}
-				k := key{a.W, a.Helper}
-				if !known[k] {
-					known[k] = true
+				if record(a.W, a.Helper) {
 					next = append(next, a)
 				}
 			}
 		}
 		delta = next
-	}
-	sets := map[int][]int{}
-	for k := range known {
-		sets[k.w] = append(sets[k.w], k.helper)
 	}
 	for w := range sets {
 		sort.Ints(sets[w])
@@ -382,62 +424,57 @@ func announceHelpers(env *sim.Env, res helpers.Result, mu int) map[int][]int {
 	return sets
 }
 
-// spreadItems floods each owner's items through its cluster for 2β rounds;
+// spread floods each owner's item batch through its cluster for 2β rounds;
 // every helper picks the share assigned to it by rank (item j goes to
 // helper j mod |H_w|), which both the owner and all helpers compute
-// identically from the sorted helper set. It returns the items THIS node is
-// responsible for as a helper.
-func spreadItems(env *sim.Env, res helpers.Result, mu int, myItems []Token, helperSets map[int][]int) []Token {
+// identically from the sorted helper set. It returns the items THIS node
+// is responsible for as a helper. myItems must be canonical (sorted,
+// deduplicated) and is shared with the cluster, so the caller must not
+// mutate it afterwards.
+func (f *family) spread(env *sim.Env, myItems []Token) []Token {
 	n := env.N()
-	beta := 2 * mu * sim.Log2Ceil(n)
+	beta := 2 * f.mu * sim.Log2Ceil(n)
 	me := env.ID()
 
-	type key struct {
-		owner int
-		label Label
-	}
-	known := map[key]bool{}
-	var delta []tokenFlood
-	for _, t := range myItems {
-		known[key{me, t.Label}] = true
-		delta = append(delta, tokenFlood{Ruler: res.Ruler, Owner: me, Tok: t})
-	}
-	items := map[int][]Token{}
+	clear(f.items)
+	var delta []tokenBatch
 	if len(myItems) > 0 {
-		items[me] = append(items[me], myItems...)
+		f.items[me] = myItems
+		delta = append(delta, tokenBatch{Ruler: f.res.Ruler, Owner: me, Items: myItems})
 	}
 	for step := 0; step < 2*beta; step++ {
 		if len(delta) > 0 {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []tokenFlood
+		var next []tokenBatch
 		for _, lm := range in.Local {
-			tfs, ok := lm.Payload.([]tokenFlood)
+			tbs, ok := lm.Payload.([]tokenBatch)
 			if !ok {
 				continue
 			}
-			for _, tf := range tfs {
-				if tf.Ruler != res.Ruler {
+			for _, tb := range tbs {
+				if tb.Ruler != f.res.Ruler {
 					continue
 				}
-				k := key{tf.Owner, tf.Tok.Label}
-				if !known[k] {
-					known[k] = true
-					items[tf.Owner] = append(items[tf.Owner], tf.Tok)
-					next = append(next, tf)
+				if _, seen := f.items[tb.Owner]; seen {
+					continue
 				}
+				f.items[tb.Owner] = tb.Items
+				next = append(next, tb)
 			}
 		}
 		delta = next
 	}
 
-	// Pick my share: for every owner I help, take items by rank.
+	// Pick my share: for every owner I help, take items by rank. Batches
+	// are canonical already (the owner floods its canonicalTokens output),
+	// so rank selection reads them directly.
 	var mine []Token
-	for _, w := range helpersOf(me, helperSets) {
-		hs := helperSets[w]
+	for _, w := range f.myOwners {
+		hs := f.helperSets[w]
 		rank := sort.SearchInts(hs, me)
-		toks := canonicalTokens(items[w])
+		toks := f.items[w]
 		for j := rank; j < len(toks); j += len(hs) {
 			mine = append(mine, toks[j])
 		}
@@ -458,19 +495,23 @@ func helpersOf(id int, helperSets map[int][]int) []int {
 	return out
 }
 
-// collectAtReceivers floods answered tokens through receiver clusters for
-// 2β rounds; each receiver keeps the tokens addressed to it.
-func collectAtReceivers(env *sim.Env, res helpers.Result, mu int, gotTokens []Token) []Token {
+// collect floods each helper's answered-token batch through the receiver
+// clusters for 2β rounds; each receiver keeps the tokens addressed to it
+// (final loop of Algorithm 4).
+func (s *Session) collect(env *sim.Env, gotTokens []Token) []Token {
 	n := env.N()
-	beta := 2 * mu * sim.Log2Ceil(n)
-	known := map[Label]int64{}
-	var delta []deliveredRec
+	beta := 2 * s.famR.mu * sim.Log2Ceil(n)
+	me := env.ID()
+	seen := map[int]bool{}
+	var delta []deliveredBatch
 	var out []Token
-	for _, t := range gotTokens {
-		known[t.Label] = t.Value
-		delta = append(delta, deliveredRec{Ruler: res.Ruler, Tok: t})
-		if t.R == env.ID() {
-			out = append(out, t)
+	if len(gotTokens) > 0 {
+		seen[me] = true
+		delta = append(delta, deliveredBatch{Ruler: s.famR.res.Ruler, Injector: me, Items: gotTokens})
+		for _, t := range gotTokens {
+			if t.R == me {
+				out = append(out, t)
+			}
 		}
 	}
 	for step := 0; step < 2*beta; step++ {
@@ -478,21 +519,24 @@ func collectAtReceivers(env *sim.Env, res helpers.Result, mu int, gotTokens []To
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []deliveredRec
+		var next []deliveredBatch
 		for _, lm := range in.Local {
-			recs, ok := lm.Payload.([]deliveredRec)
+			dbs, ok := lm.Payload.([]deliveredBatch)
 			if !ok {
 				continue
 			}
-			for _, rec := range recs {
-				if rec.Ruler != res.Ruler {
+			for _, db := range dbs {
+				if db.Ruler != s.famR.res.Ruler {
 					continue
 				}
-				if _, seen := known[rec.Tok.Label]; !seen {
-					known[rec.Tok.Label] = rec.Tok.Value
-					next = append(next, rec)
-					if rec.Tok.R == env.ID() {
-						out = append(out, rec.Tok)
+				if seen[db.Injector] {
+					continue
+				}
+				seen[db.Injector] = true
+				next = append(next, db)
+				for _, t := range db.Items {
+					if t.R == me {
+						out = append(out, t)
 					}
 				}
 			}

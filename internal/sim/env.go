@@ -55,13 +55,26 @@ func (env *Env) SendLocal(to int, payload interface{}) {
 	if !env.eng.g.HasEdge(env.id, to) {
 		env.violate(fmt.Errorf("sim: node %d sent local message to non-neighbor %d", env.id, to))
 	}
+	env.stageLocal(to, payload)
+}
+
+// stageLocal appends one local message to the engine-appropriate staging
+// area: the destination shard's bucket (sharded) or the flat outbox
+// (legacy).
+func (env *Env) stageLocal(to int, payload interface{}) {
+	if env.eng.sharded {
+		k := env.eng.shardOf(to)
+		env.eng.dirty[k][env.id] = true
+		env.outLocalSh[k] = append(env.outLocalSh[k], localOut{to: to, payload: payload})
+		return
+	}
 	env.outLocal = append(env.outLocal, localOut{to: to, payload: payload})
 }
 
 // BroadcastLocal stages the payload to every neighbor in G.
 func (env *Env) BroadcastLocal(payload interface{}) {
 	for _, nb := range env.Neighbors() {
-		env.outLocal = append(env.outLocal, localOut{to: nb.To, payload: payload})
+		env.stageLocal(nb.To, payload)
 	}
 }
 
@@ -77,9 +90,14 @@ func (env *Env) SendGlobal(dst int, kind Kind, f0, f1, f2, f3 int64) {
 			env.id, env.eng.sendCap, env.round))
 	}
 	env.globalSentThisRound++
-	env.outGlobal = append(env.outGlobal, GlobalMsg{
-		Src: env.id, Dst: dst, Kind: kind, F0: f0, F1: f1, F2: f2, F3: f3,
-	})
+	m := GlobalMsg{Src: env.id, Dst: dst, Kind: kind, F0: f0, F1: f1, F2: f2, F3: f3}
+	if env.eng.sharded {
+		k := env.eng.shardOf(dst)
+		env.eng.dirty[k][env.id] = true
+		env.outGlobalSh[k] = append(env.outGlobalSh[k], m)
+		return
+	}
+	env.outGlobal = append(env.outGlobal, m)
 }
 
 // GlobalBudget returns how many more global messages this node may send in
@@ -89,7 +107,8 @@ func (env *Env) GlobalBudget() int { return env.eng.sendCap - env.globalSentThis
 // Step ends the node's round: all staged messages are handed to the engine,
 // and the call blocks until every node has ended the round. It returns the
 // inbox of messages delivered for the next round. The returned slices are
-// owned by the caller until the next Step call.
+// owned by the caller until the next Step call; the sharded engine reuses
+// them afterwards, so programs must not retain them across Steps.
 func (env *Env) Step() Inbox {
 	if env.eng.aborted.Load() {
 		panic(errAbort)
@@ -101,6 +120,10 @@ func (env *Env) Step() Inbox {
 		panic(errAbort)
 	}
 	env.round++
+	if env.eng.sharded {
+		p := env.round & 1
+		return Inbox{Local: env.inLocalBuf[p], Global: env.inGlobalBuf[p]}
+	}
 	in := Inbox{Local: env.inLocal, Global: env.inGlobal}
 	env.inLocal = nil
 	env.inGlobal = nil

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// The sharded engine ("sim v2") keeps the node programs exactly as they are
+// — blocking goroutines multiplexed by the Go scheduler — and reworks
+// everything the engine itself does per round:
+//
+//   - The node set is split into contiguous shards. Every sender stages its
+//     outgoing messages into per-destination-shard buckets at send time, so
+//     round delivery never sorts or locks: the worker owning shard k drains
+//     bucket k of every sender in ascending sender ID, which reproduces the
+//     engine contract (inboxes ordered by sender ID, then send order)
+//     independently of the shard count.
+//   - Delivery runs on a persistent worker pool (one worker per shard, at
+//     most GOMAXPROCS shards). Workers touch disjoint state: shard k's
+//     worker writes only the inboxes and receive counters of shard k's
+//     nodes and the k-buckets of the senders, so the merge of the per-shard
+//     metric deltas is the only cross-shard step, and it is a sum/max merge
+//     that is independent of completion order.
+//   - Inboxes are preallocated and double-buffered: the buffer delivered at
+//     round r is reused at round r+2, so steady-state rounds allocate
+//     nothing. (Step's contract — the returned slices are owned by the
+//     caller until the next Step call — grants one round of ownership; the
+//     double buffer leaves an extra round of slack.)
+//   - Senders that staged nothing for a shard are skipped via a dirty flag,
+//     so sparse rounds (the common case in delta-style flooding protocols)
+//     cost O(n) flag reads instead of O(n) slice scans per shard.
+//
+// The legacy engine (legacy deliver in sim.go) is kept verbatim as a
+// differential-testing oracle: for any program and seed, both engines must
+// produce byte-identical results and Metrics. engines_test.go enforces this.
+
+// shardResult is one worker's metric delta for one round. Merging the
+// results is commutative (sums and maxes), so the aggregate Metrics do not
+// depend on worker scheduling.
+type shardResult struct {
+	finished   int
+	localMsgs  int64
+	globalMsgs int64
+	globalBits int64
+	cutMsgs    int64
+	cutBits    int64
+	maxSend    int
+	maxRecv    int
+	violDst    int // lowest node ID violating StrictRecvFactor, -1 if none
+	violCount  int
+}
+
+// initSharded sizes the shards and preallocates the per-env staging state.
+func (e *engine) initSharded() {
+	e.sharded = true
+	s := e.cfg.Shards
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > e.n {
+		s = e.n
+	}
+	e.shardSize = (e.n + s - 1) / s
+	e.nShards = (e.n + e.shardSize - 1) / e.shardSize
+	e.recvCount = make([]int, e.n)
+	e.dirty = make([][]bool, e.nShards)
+	for k := range e.dirty {
+		e.dirty[k] = make([]bool, e.n)
+	}
+	for _, env := range e.envs {
+		env.outLocalSh = make([][]localOut, e.nShards)
+		env.outGlobalSh = make([][]GlobalMsg, e.nShards)
+	}
+	if e.nShards > 1 {
+		e.workCh = make(chan int)
+		e.resCh = make(chan shardResult)
+		for w := 0; w < e.nShards; w++ {
+			go func() {
+				for k := range e.workCh {
+					e.resCh <- e.runShard(k)
+				}
+			}()
+		}
+	}
+}
+
+// stopSharded shuts the worker pool down.
+func (e *engine) stopSharded() {
+	if e.workCh != nil {
+		close(e.workCh)
+	}
+}
+
+func (e *engine) shardOf(v int) int { return v / e.shardSize }
+
+// deliverSharded is the v2 round boundary: fan the shards out to the
+// workers, merge their metric deltas, and return how many nodes finished.
+func (e *engine) deliverSharded() int {
+	e.generation++
+	var total shardResult
+	total.violDst = -1
+	if e.nShards == 1 {
+		total = e.runShard(0)
+	} else {
+		for k := 0; k < e.nShards; k++ {
+			e.workCh <- k
+		}
+		for k := 0; k < e.nShards; k++ {
+			r := <-e.resCh
+			total.finished += r.finished
+			total.localMsgs += r.localMsgs
+			total.globalMsgs += r.globalMsgs
+			total.globalBits += r.globalBits
+			total.cutMsgs += r.cutMsgs
+			total.cutBits += r.cutBits
+			if r.maxSend > total.maxSend {
+				total.maxSend = r.maxSend
+			}
+			if r.maxRecv > total.maxRecv {
+				total.maxRecv = r.maxRecv
+			}
+			if r.violDst >= 0 && (total.violDst < 0 || r.violDst < total.violDst) {
+				total.violDst = r.violDst
+				total.violCount = r.violCount
+			}
+		}
+	}
+	e.metrics.LocalMsgs += total.localMsgs
+	e.metrics.GlobalMsgs += total.globalMsgs
+	e.metrics.GlobalBits += total.globalBits
+	e.metrics.CutGlobalMsgs += total.cutMsgs
+	e.metrics.CutGlobalBits += total.cutBits
+	if total.maxSend > e.metrics.MaxGlobalSend {
+		e.metrics.MaxGlobalSend = total.maxSend
+	}
+	if total.maxRecv > e.metrics.MaxGlobalRecv {
+		e.metrics.MaxGlobalRecv = total.maxRecv
+	}
+	if total.violDst >= 0 {
+		f := e.cfg.StrictRecvFactor
+		e.fail(fmt.Errorf("sim: node %d received %d global messages in generation %d, cap %d",
+			total.violDst, total.violCount, e.generation, f*e.logN))
+	}
+	return total.finished
+}
+
+// runShard performs one round of delivery for shard k: reset the shard's
+// inbox buffers and account for its senders, drain every dirty sender's
+// k-bucket in ascending sender ID (preserving per-destination send order),
+// and tally the shard's receive loads.
+func (e *engine) runShard(k int) shardResult {
+	r := shardResult{violDst: -1}
+	lo := k * e.shardSize
+	hi := lo + e.shardSize
+	if hi > e.n {
+		hi = e.n
+	}
+	gen := e.generation & 1
+
+	for v := lo; v < hi; v++ {
+		env := e.envs[v]
+		if len(env.inLocalBuf[gen]) > 0 {
+			env.inLocalBuf[gen] = env.inLocalBuf[gen][:0]
+		}
+		if len(env.inGlobalBuf[gen]) > 0 {
+			env.inGlobalBuf[gen] = env.inGlobalBuf[gen][:0]
+		}
+		if env.finished && !env.countedFinished {
+			env.countedFinished = true
+			r.finished++
+		}
+		if env.globalSentThisRound > 0 {
+			if env.globalSentThisRound > r.maxSend {
+				r.maxSend = env.globalSentThisRound
+			}
+			env.globalSentThisRound = 0
+		}
+	}
+
+	cut := e.cfg.Cut
+	dirty := e.dirty[k]
+	for s := 0; s < e.n; s++ {
+		if !dirty[s] {
+			continue
+		}
+		dirty[s] = false
+		env := e.envs[s]
+		for _, out := range env.outLocalSh[k] {
+			dst := e.envs[out.to]
+			dst.inLocalBuf[gen] = append(dst.inLocalBuf[gen], LocalMsg{From: s, Payload: out.payload})
+			r.localMsgs++
+		}
+		env.outLocalSh[k] = env.outLocalSh[k][:0]
+		for _, gm := range env.outGlobalSh[k] {
+			dst := e.envs[gm.Dst]
+			dst.inGlobalBuf[gen] = append(dst.inGlobalBuf[gen], gm)
+			e.recvCount[gm.Dst]++
+			r.globalMsgs++
+			r.globalBits += e.msgBits
+			if cut != nil && cut[gm.Src] != cut[gm.Dst] {
+				r.cutMsgs++
+				r.cutBits += e.msgBits
+			}
+		}
+		env.outGlobalSh[k] = env.outGlobalSh[k][:0]
+	}
+
+	// Receive loads: every nonzero count was written this round (counts are
+	// reset as they are read), so a round that delivered no global messages
+	// to this shard can skip the scan.
+	if r.globalMsgs > 0 {
+		f := e.cfg.StrictRecvFactor
+		for d := lo; d < hi; d++ {
+			c := e.recvCount[d]
+			if c == 0 {
+				continue
+			}
+			e.recvCount[d] = 0
+			if c > r.maxRecv {
+				r.maxRecv = c
+			}
+			if f > 0 && c > f*e.logN && r.violDst < 0 {
+				r.violDst = d
+				r.violCount = c
+			}
+		}
+	}
+	return r
+}

@@ -13,10 +13,43 @@
 // barrier generations is exactly the round complexity the paper's theorems
 // are stated in.
 //
-// Model enforcement: global-mode send caps are enforced strictly (a program
-// exceeding its cap is a bug, reported as a run error). Global receive load
-// is recorded, not enforced, because bounding it is a w.h.p. *claim* of the
-// paper's protocols (Lemma D.2) that the test suite verifies empirically.
+// # Engines
+//
+// Two interchangeable round engines implement the barrier and delivery;
+// Config.Engine selects one.
+//
+// EngineSharded (the default, "sim v2") splits the node set into contiguous
+// shards, at most GOMAXPROCS of them. Senders stage outgoing messages into
+// per-destination-shard buckets as they send, and at the round boundary a
+// persistent worker pool drains the buckets shard by shard — each worker
+// owns the inboxes, receive counters, and metric deltas of exactly one
+// shard, so delivery is lock-free and scales with cores. Inboxes are
+// preallocated and double-buffered so steady-state rounds allocate nothing,
+// and senders that staged nothing are skipped via dirty flags (sparse
+// rounds are the common case in delta-style flooding). See sharded.go.
+//
+// EngineLegacy is the original engine: a single coordinator goroutine
+// drains every node's flat outbox in node-ID order with freshly allocated
+// inboxes each round. It is retained as the differential-testing oracle.
+//
+// # Determinism
+//
+// Both engines are deterministic and agree bit for bit: a destination's
+// inbox is ordered by (sender ID, send order) regardless of engine or
+// shard count, per-node and public randomness derive only from Config.Seed,
+// and the sharded engine's metric merge is a commutative sum/max fold, so
+// for a fixed seed both engines produce identical message sequences,
+// results, and Metrics. engines_test.go and the top-level differential
+// tests enforce this property.
+//
+// # Model enforcement
+//
+// Global-mode send caps are enforced strictly (a program exceeding its cap
+// is a bug, reported as a run error), as are local sends to non-neighbors
+// and out-of-range global destinations. Global receive load is recorded,
+// not enforced, because bounding it is a w.h.p. *claim* of the paper's
+// protocols (Lemma D.2) that the test suite verifies empirically;
+// Config.StrictRecvFactor opts into treating overload as an error.
 package sim
 
 import (
@@ -65,10 +98,39 @@ type Inbox struct {
 // writing to captured per-node output slots.
 type Program func(env *Env)
 
+// Engine selects the round-engine implementation. See the package comment.
+type Engine int
+
+const (
+	// EngineSharded is the default engine: per-shard staging buckets,
+	// worker-pool delivery, reused double-buffered inboxes.
+	EngineSharded Engine = iota
+	// EngineLegacy is the original goroutine-per-node engine with a single
+	// delivery coordinator, kept as a differential-testing oracle.
+	EngineLegacy
+)
+
+// String names the engine for flags and benchmark labels.
+func (e Engine) String() string {
+	if e == EngineLegacy {
+		return "legacy"
+	}
+	return "sharded"
+}
+
 // Config controls model parameters and instrumentation.
 type Config struct {
 	// Seed roots all randomness (per-node streams and public randomness).
 	Seed int64
+
+	// Engine selects the round engine (default EngineSharded). Both
+	// engines produce identical results and Metrics for identical seeds.
+	Engine Engine
+
+	// Shards overrides the sharded engine's shard count (default
+	// GOMAXPROCS, capped at n). Results are independent of the value; it
+	// exists for tuning and for determinism tests across shard counts.
+	Shards int
 
 	// GlobalSendFactor scales the global-mode send cap:
 	// cap = GlobalSendFactor * ceil(log2 n). Zero means 1. The paper's
@@ -142,8 +204,7 @@ type engine struct {
 
 	envs []*Env
 
-	mu        sync.Mutex
-	release   chan struct{}
+	release   atomic.Value // chan struct{}; swapped at each round boundary
 	remaining int32
 	ready     chan struct{} // signaled when remaining hits zero
 
@@ -156,6 +217,15 @@ type engine struct {
 
 	generation int
 	metrics    Metrics
+
+	// Sharded-engine state (nil/zero under EngineLegacy); see sharded.go.
+	sharded   bool
+	nShards   int
+	shardSize int
+	recvCount []int
+	dirty     [][]bool // [shard][sender]: sender staged something for shard
+	workCh    chan int
+	resCh     chan shardResult
 }
 
 // Env is a node's handle to the engine. All methods must be called only
@@ -168,11 +238,19 @@ type Env struct {
 	round    int
 	finished bool
 
+	// Legacy-engine staging: flat outboxes, fresh inboxes each round.
 	outLocal  []localOut
 	outGlobal []GlobalMsg
 
 	inLocal  []LocalMsg
 	inGlobal []GlobalMsg
+
+	// Sharded-engine staging: per-destination-shard buckets and
+	// double-buffered reused inboxes (see sharded.go).
+	outLocalSh  [][]localOut
+	outGlobalSh [][]GlobalMsg
+	inLocalBuf  [2][]LocalMsg
+	inGlobalBuf [2][]GlobalMsg
 
 	globalSentThisRound int
 	countedFinished     bool
@@ -211,9 +289,9 @@ func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
 		sendCap: cfg.GlobalSendFactor * logN,
 		// src + dst + kind + four fields, all O(log n)-bit quantities.
 		msgBits: int64(6*logN + 16),
-		release: make(chan struct{}),
 		ready:   make(chan struct{}, 1),
 	}
+	eng.release.Store(make(chan struct{}))
 	src := bitrand.NewSource(cfg.Seed)
 	eng.envs = make([]*Env, n)
 	for i := 0; i < n; i++ {
@@ -224,6 +302,10 @@ func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
 		}
 	}
 	atomic.StoreInt32(&eng.remaining, int32(n))
+	if cfg.Engine != EngineLegacy {
+		eng.initSharded()
+		defer eng.stopSharded()
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -278,7 +360,12 @@ func (e *engine) coordinate() {
 	active := e.n
 	for {
 		<-e.ready
-		finishedNow := e.deliver()
+		var finishedNow int
+		if e.sharded {
+			finishedNow = e.deliverSharded()
+		} else {
+			finishedNow = e.deliver()
+		}
 		active -= finishedNow
 		if e.generation >= e.cfg.MaxRounds {
 			e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
@@ -294,20 +381,18 @@ func (e *engine) coordinate() {
 }
 
 // swapRelease installs a new release channel and closes the old one, waking
-// every node blocked in Step.
+// every node blocked in Step. A node always loads its release channel
+// BEFORE arriving at the barrier, and the swap happens only after every
+// node has arrived, so no node can observe the new channel for the round
+// it is finishing.
 func (e *engine) swapRelease() {
-	e.mu.Lock()
-	old := e.release
-	e.release = make(chan struct{})
-	e.mu.Unlock()
+	old := e.release.Load().(chan struct{})
+	e.release.Store(make(chan struct{}))
 	close(old)
 }
 
 func (e *engine) currentRelease() chan struct{} {
-	e.mu.Lock()
-	ch := e.release
-	e.mu.Unlock()
-	return ch
+	return e.release.Load().(chan struct{})
 }
 
 // deliver moves every staged outbox into the destination inboxes, updates

@@ -3,6 +3,7 @@ package skeleton
 import (
 	"sort"
 
+	"repro/internal/graph"
 	"repro/internal/sim"
 )
 
@@ -10,15 +11,24 @@ import (
 // Bellman-Ford over the local network: every node with isSource starts a
 // wave, and afterwards every node holds, for each source within `rounds`
 // hops, an estimate dd with d <= dd <= d_rounds (see Result.Near for why
-// the sandwich suffices). It also returns the hop distance at which each
-// source was first heard. Collective; takes exactly `rounds` rounds.
+// the sandwich suffices). It returns dense per-source vectors indexed by
+// node ID: near[u] is the estimate (graph.Inf if u was not heard) and
+// hops[u] the hop distance at which u was first heard (-1 if never).
+// Collective; takes exactly `rounds` rounds.
 //
 // This is the local-exploration subroutine shared by Algorithm 6
 // (sources = skeleton nodes) and the APSP/k-SSP algorithms' "learn
 // G up to depth ηh" steps (sources = all nodes, paper Fact 4.2).
-func LimitedExplore(env *sim.Env, isSource bool, rounds int) (map[int]int64, map[int]int) {
-	near := map[int]int64{}
-	hops := map[int]int{}
+func LimitedExplore(env *sim.Env, isSource bool, rounds int) ([]int64, []int) {
+	n := env.N()
+	near := make([]int64, n)
+	hops := make([]int, n)
+	pending := make([]int32, n) // index into next, -1 = no update staged
+	for i := 0; i < n; i++ {
+		near[i] = graph.Inf
+		hops[i] = -1
+		pending[i] = -1
+	}
 	var delta []distUpdate
 	if isSource {
 		near[env.ID()] = 0
@@ -30,7 +40,9 @@ func LimitedExplore(env *sim.Env, isSource bool, rounds int) (map[int]int64, map
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		improved := map[int]distUpdate{}
+		// next must be a fresh slice every step: the broadcast delta is
+		// shared with the neighbors that are still reading it this round.
+		var next []distUpdate
 		for _, lm := range in.Local {
 			ups, ok := lm.Payload.([]distUpdate)
 			if !ok {
@@ -39,19 +51,23 @@ func LimitedExplore(env *sim.Env, isSource bool, rounds int) (map[int]int64, map
 			w, _ := env.Graph().Weight(env.ID(), lm.From)
 			for _, up := range ups {
 				nd := up.Dist + w
-				cur, seen := near[up.Source]
-				if !seen || nd < cur {
+				if nd < near[up.Source] {
 					near[up.Source] = nd
-					if _, hseen := hops[up.Source]; !hseen {
+					if hops[up.Source] < 0 {
 						hops[up.Source] = up.Hops + 1
 					}
-					improved[up.Source] = distUpdate{Source: up.Source, Dist: nd, Hops: up.Hops + 1}
+					u := distUpdate{Source: up.Source, Dist: nd, Hops: up.Hops + 1}
+					if i := pending[up.Source]; i >= 0 {
+						next[i] = u
+					} else {
+						pending[up.Source] = int32(len(next))
+						next = append(next, u)
+					}
 				}
 			}
 		}
-		next := make([]distUpdate, 0, len(improved))
-		for _, up := range improved {
-			next = append(next, up)
+		for _, up := range next {
+			pending[up.Source] = -1
 		}
 		sort.Slice(next, func(i, j int) bool { return next[i].Source < next[j].Source })
 		delta = next
@@ -59,47 +75,56 @@ func LimitedExplore(env *sim.Env, isSource bool, rounds int) (map[int]int64, map
 	return near, hops
 }
 
-// FloodRecord is one (origin, subject, value) record flooded to a fixed
-// radius, used by the APSP algorithms to distribute skeleton distance
-// labels 〈d(s,v), ID(s), ID(v)〉 into the origin's h-neighborhood (paper §3).
-type FloodRecord struct {
-	Origin  int
-	Subject int
-	Value   int64
-	TTL     int
+// floodVec is the local-mode payload of FloodVectors: one origin's label
+// vector travelling with a remaining TTL. Values is shared by every node
+// that hears it and must never be mutated.
+type floodVec struct {
+	Origin int
+	TTL    int
+	Values []int64
 }
 
-// FloodLabels floods this node's records to the given radius: every record
-// travels `radius` hops from its origin (first-arrival forwarding, which
-// carries the maximal remaining TTL). It returns all records this node
-// heard, keyed (origin, subject). Collective; takes exactly `radius` rounds.
-func FloodLabels(env *sim.Env, mine []FloodRecord, radius int) map[[2]int]int64 {
-	known := map[[2]int]int64{}
-	var delta []FloodRecord
-	for _, r := range mine {
-		r.TTL = radius
-		known[[2]int{r.Origin, r.Subject}] = r.Value
-		delta = append(delta, r)
+// FloodVectors floods this node's label vector (`mine`, nil unless this
+// node is an origin) to the given radius: the vector travels `radius` hops
+// from its origin with first-arrival forwarding. It returns every vector
+// this node heard, keyed by origin (including its own). Collective; takes
+// exactly `radius` rounds.
+//
+// A vector is the dense form of the paper's label set
+// 〈value, ID(origin), subject〉 for a fixed origin: Values[subject] is the
+// label's value, -1 marks subjects the origin published no label for. An
+// origin's labels always travel as one batch (they enter the flood
+// together and deduplication is by origin), so vector flooding is
+// round-for-round and message-for-message identical to flooding the
+// records individually — but a vector is built once and *shared* by every
+// node that hears it, which turns the per-node Θ(|origins|·|subjects|)
+// storage and hashing of the record form into a per-run cost. Callers must
+// treat received vectors as immutable.
+func FloodVectors(env *sim.Env, mine []int64, radius int) map[int][]int64 {
+	known := map[int][]int64{}
+	var delta []floodVec
+	if mine != nil {
+		known[env.ID()] = mine
+		delta = append(delta, floodVec{Origin: env.ID(), TTL: radius, Values: mine})
 	}
 	for step := 0; step < radius; step++ {
 		if len(delta) > 0 {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []FloodRecord
+		var next []floodVec
 		for _, lm := range in.Local {
-			recs, ok := lm.Payload.([]FloodRecord)
+			vecs, ok := lm.Payload.([]floodVec)
 			if !ok {
 				continue
 			}
-			for _, r := range recs {
-				key := [2]int{r.Origin, r.Subject}
-				if _, seen := known[key]; seen {
+			for _, fv := range vecs {
+				if _, seen := known[fv.Origin]; seen {
 					continue
 				}
-				known[key] = r.Value
-				if r.TTL > 1 {
-					next = append(next, FloodRecord{Origin: r.Origin, Subject: r.Subject, Value: r.Value, TTL: r.TTL - 1})
+				known[fv.Origin] = fv.Values
+				if fv.TTL > 1 {
+					next = append(next, floodVec{Origin: fv.Origin, TTL: fv.TTL - 1, Values: fv.Values})
 				}
 			}
 		}

@@ -128,11 +128,19 @@ func Compute(env *sim.Env, p Params, forceInclude bool) Result {
 	inS := forceInclude || env.Rand().Float64() < p.SampleProb(n)
 
 	near, hops := LimitedExplore(env, inS, h)
+	nearMap := make(map[int]int64)
+	hopsMap := make(map[int]int)
+	for u := 0; u < n; u++ {
+		if near[u] < graph.Inf {
+			nearMap[u] = near[u]
+			hopsMap[u] = hops[u]
+		}
+	}
 	return Result{
 		InSkeleton: inS,
 		H:          h,
-		Near:       near,
-		NearHops:   hops,
+		Near:       nearMap,
+		NearHops:   hopsMap,
 	}
 }
 

@@ -21,24 +21,22 @@ import (
 // when rounds >= SPD(G). Collective.
 func Local(env *sim.Env, isSource bool, rounds int) int64 {
 	near, _ := skeleton.LimitedExplore(env, isSource, rounds)
+	if isSource {
+		return 0
+	}
 	best := graph.Inf
 	for _, d := range near {
 		if d < best {
 			best = d
 		}
 	}
-	if !isSource && len(near) == 0 {
-		return graph.Inf
-	}
-	if isSource {
-		return 0
-	}
 	return best
 }
 
 // LocalAll is the k-source variant: sourceIDs must be globally known; the
-// return maps source -> estimate.
-func LocalAll(env *sim.Env, isSource bool, rounds int) map[int]int64 {
+// returned dense vector holds the estimate per source node (graph.Inf for
+// sources out of reach, and for non-sources).
+func LocalAll(env *sim.Env, isSource bool, rounds int) []int64 {
 	near, _ := skeleton.LimitedExplore(env, isSource, rounds)
 	return near
 }

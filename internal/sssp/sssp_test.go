@@ -72,7 +72,7 @@ func TestLocalSourceIsZero(t *testing.T) {
 func TestLocalAllMultiSource(t *testing.T) {
 	g := graph.Grid(5, 5)
 	sources := map[int]bool{0: true, 24: true}
-	out := make([]map[int]int64, g.N())
+	out := make([][]int64, g.N())
 	_, err := sim.Run(g, sim.Config{Seed: 9}, func(env *sim.Env) {
 		out[env.ID()] = LocalAll(env, sources[env.ID()], 8)
 	})
