@@ -7,6 +7,7 @@ package hybrid_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -117,34 +118,47 @@ func BenchmarkA4HashIndependence(b *testing.B) {
 	runExperiment(b, "A4", experiments.A4HashIndependence)
 }
 
-// BenchmarkEngineAPSP compares the legacy and sharded round engines on
-// grid-graph APSP (Theorem 1.1) across sizes. Both engines produce
-// byte-identical results (engines_test.go); what this measures is pure
-// engine wall-clock. Sizes above 1024 are opt-in via HYBRID_BENCH_XL=1
-// (pass -timeout 0: the n=16384 instance runs for a long time; see also
-// cmd/hybridsim for one-off XL runs).
+// BenchmarkEngineAPSP compares the three round engines on grid-graph APSP
+// (Theorem 1.1) across sizes, on both unweighted grids and weighted grids
+// (WithRandomWeights; the Corollary 4.6/4.8 weighted regime's local
+// topology). All engines produce byte-identical results (engines_test.go);
+// what this measures is pure engine wall-clock — EngineStep runs the
+// step-native APSP machine, the others the goroutine form. Sizes above
+// 1024 are opt-in via HYBRID_BENCH_XL=1 (pass -timeout 0: the n=16384
+// instance runs for a long time; see also cmd/hybridsim for one-off XL
+// runs).
 func BenchmarkEngineAPSP(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096, 16384} {
 		side := 1
 		for side*side < n {
 			side++
 		}
-		for _, eng := range []hybrid.Engine{hybrid.EngineLegacy, hybrid.EngineSharded} {
-			b.Run(fmt.Sprintf("n=%d/engine=%s", n, eng), func(b *testing.B) {
-				if n > 1024 && os.Getenv("HYBRID_BENCH_XL") == "" {
-					b.Skip("set HYBRID_BENCH_XL=1 (and -timeout 0) for sizes above 1024")
-				}
-				g := hybrid.GridGraph(side, side)
-				var rounds int
-				for i := 0; i < b.N; i++ {
-					res, err := hybrid.New(g, hybrid.WithSeed(benchSeed), hybrid.WithEngine(eng)).APSP()
-					if err != nil {
-						b.Fatal(err)
+		for _, weighted := range []bool{false, true} {
+			graphName := "grid"
+			if weighted {
+				graphName = "wgrid"
+			}
+			for _, eng := range []hybrid.Engine{hybrid.EngineLegacy, hybrid.EngineSharded, hybrid.EngineStep} {
+				b.Run(fmt.Sprintf("graph=%s/n=%d/engine=%s", graphName, n, eng), func(b *testing.B) {
+					if n > 1024 && os.Getenv("HYBRID_BENCH_XL") == "" {
+						b.Skip("set HYBRID_BENCH_XL=1 (and -timeout 0) for sizes above 1024")
 					}
-					rounds = res.Metrics.Rounds
-				}
-				b.ReportMetric(float64(rounds), "rounds")
-			})
+					g := hybrid.GridGraph(side, side)
+					if weighted {
+						wrng := rand.New(rand.NewSource(benchSeed + int64(n)))
+						g = hybrid.WithRandomWeights(g, 8, wrng)
+					}
+					var rounds int
+					for i := 0; i < b.N; i++ {
+						res, err := hybrid.New(g, hybrid.WithSeed(benchSeed), hybrid.WithEngine(eng)).APSP()
+						if err != nil {
+							b.Fatal(err)
+						}
+						rounds = res.Metrics.Rounds
+					}
+					b.ReportMetric(float64(rounds), "rounds")
+				})
+			}
 		}
 	}
 }
@@ -172,7 +186,7 @@ func BenchmarkEngineTokenRouting(b *testing.B) {
 			PR:     1,
 		}
 	}
-	for _, eng := range []hybrid.Engine{hybrid.EngineLegacy, hybrid.EngineSharded} {
+	for _, eng := range []hybrid.Engine{hybrid.EngineLegacy, hybrid.EngineSharded, hybrid.EngineStep} {
 		b.Run(fmt.Sprintf("engine=%s", eng), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, _, err := hybrid.New(g, hybrid.WithSeed(benchSeed), hybrid.WithEngine(eng)).TokenRouting(specs)

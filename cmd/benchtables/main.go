@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	benchtables [-quick] [-seed N] [-only E3,E7]
+//	benchtables [-quick] [-xl] [-seed N] [-only E3,E7] [-engine step]
+//
+// -xl extends the scaling tables (E3, E6) to n ∈ {1024, 4096} on the
+// goroutine-free step engine; see the README for expected runtimes.
 package main
 
 import (
@@ -15,16 +18,33 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced sweeps")
+	xl := flag.Bool("xl", false, "extend the scaling tables (E3, E6) to n in {1024, 4096}; expect minutes per table (see README)")
 	seed := flag.Int64("seed", 20200615, "root random seed")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
 	ablations := flag.Bool("ablations", false, "also run the A1-A4 design-choice ablations")
+	engine := flag.String("engine", "", "round engine: sharded (default) | step | legacy; -xl defaults to step")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, XL: *xl}
+	if *engine == "" && *xl {
+		*engine = "step" // the goroutine-free engine is what makes XL affordable
+	}
+	switch *engine {
+	case "", "sharded":
+		cfg.Engine = sim.EngineSharded
+	case "step":
+		cfg.Engine = sim.EngineStep
+	case "legacy":
+		cfg.Engine = sim.EngineLegacy
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {

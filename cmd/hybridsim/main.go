@@ -29,7 +29,7 @@ func main() {
 	eps := flag.Float64("eps", 0.5, "epsilon for approximation variants")
 	seed := flag.Int64("seed", 1, "random seed")
 	maxW := flag.Int64("maxw", 1, "max edge weight (1 = unweighted)")
-	engine := flag.String("engine", "sharded", "round engine: sharded|legacy")
+	engine := flag.String("engine", "sharded", "round engine: sharded|step|legacy")
 	verify := flag.Bool("verify", true, "check results against sequential ground truth")
 	flag.Parse()
 
@@ -37,6 +37,8 @@ func main() {
 	switch *engine {
 	case "sharded":
 		eng = hybrid.EngineSharded
+	case "step":
+		eng = hybrid.EngineStep
 	case "legacy":
 		eng = hybrid.EngineLegacy
 	default:
@@ -164,8 +166,8 @@ func verifyAPSP(g *hybrid.Graph, res *hybrid.APSPResult) {
 }
 
 func printMetrics(m hybrid.Metrics) {
-	fmt.Printf("rounds=%d globalMsgs=%d globalBits=%d localMsgs=%d maxSend=%d maxRecv=%d\n",
-		m.Rounds, m.GlobalMsgs, m.GlobalBits, m.LocalMsgs, m.MaxGlobalSend, m.MaxGlobalRecv)
+	fmt.Printf("rounds=%d globalMsgs=%d globalBits=%d localMsgs=%d localBits=%d maxSend=%d maxRecv=%d\n",
+		m.Rounds, m.GlobalMsgs, m.GlobalBits, m.LocalMsgs, m.LocalBits, m.MaxGlobalSend, m.MaxGlobalRecv)
 }
 
 func check(err error) {

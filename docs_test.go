@@ -1,0 +1,40 @@
+// Documentation checks: the markdown link graph must stay intact. Every
+// relative link in the top-level docs has to resolve to a file or
+// directory in the repository; CI runs this alongside the code tests, so
+// a renamed file breaks the build, not the reader.
+package hybrid_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocsLinksResolve(t *testing.T) {
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md", "PAPER.md", "PAPERS.md", "CHANGES.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			link := m[1]
+			if strings.HasPrefix(link, "http://") || strings.HasPrefix(link, "https://") ||
+				strings.HasPrefix(link, "mailto:") || strings.HasPrefix(link, "#") {
+				continue // external links and in-page anchors are out of scope
+			}
+			path := link
+			if i := strings.IndexByte(path, '#'); i >= 0 {
+				path = path[:i]
+			}
+			if path == "" {
+				continue
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: broken relative link %q", doc, link)
+			}
+		}
+	}
+}

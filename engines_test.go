@@ -1,8 +1,11 @@
-// Differential tests between the two round engines: for fixed seeds, the
-// legacy goroutine-per-node engine and the sharded v2 engine must produce
-// byte-identical distances, diameter estimates, and cost metrics on every
-// algorithm of the public API. The legacy engine is the oracle; any
-// divergence is an engine bug by definition.
+// Differential tests between the three round engines: for fixed seeds, the
+// legacy goroutine-per-node engine, the sharded v2 engine, and the
+// goroutine-free step engine must produce byte-identical distances,
+// diameter estimates, round counts, and cost metrics on every algorithm of
+// the public API. The legacy engine is the oracle; any divergence is an
+// engine (or step-port) bug by definition. On EngineStep, APSP and
+// TokenRouting exercise the step-native machines; SSSP, KSSP and Diameter
+// exercise the goroutine-backed adapter.
 package hybrid_test
 
 import (
@@ -13,8 +16,12 @@ import (
 	hybrid "repro"
 )
 
+// allEngines is the engine matrix every differential test sweeps.
+var allEngines = []hybrid.Engine{hybrid.EngineLegacy, hybrid.EngineSharded, hybrid.EngineStep}
+
 // engineSuite returns the small graph suite the differential tests run on:
-// a grid, a random sparse graph, and a path (worst case for flooding).
+// a grid, a random sparse graph, a path (worst case for flooding), and a
+// weighted grid.
 func engineSuite(t *testing.T) map[string]*hybrid.Graph {
 	t.Helper()
 	rng := rand.New(rand.NewSource(7))
@@ -27,52 +34,72 @@ func engineSuite(t *testing.T) map[string]*hybrid.Graph {
 	return suite
 }
 
-func bothEngines(t *testing.T, g *hybrid.Graph, seed int64) (legacy, sharded *hybrid.Network) {
-	t.Helper()
-	return hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(hybrid.EngineLegacy)),
-		hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(hybrid.EngineSharded))
+func engineNet(g *hybrid.Graph, seed int64, eng hybrid.Engine) *hybrid.Network {
+	return hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(eng))
 }
 
 func TestEnginesAgreeAPSP(t *testing.T) {
 	for name, g := range engineSuite(t) {
-		legacy, sharded := bothEngines(t, g, 101)
-		lres, err := legacy.APSP()
+		oracle, err := engineNet(g, 101, hybrid.EngineLegacy).APSP()
 		if err != nil {
 			t.Fatalf("%s legacy: %v", name, err)
 		}
-		sres, err := sharded.APSP()
-		if err != nil {
-			t.Fatalf("%s sharded: %v", name, err)
-		}
-		if !reflect.DeepEqual(lres.Dist, sres.Dist) {
-			t.Errorf("%s: APSP distance matrices differ between engines", name)
-		}
-		if lres.Metrics != sres.Metrics {
-			t.Errorf("%s: APSP metrics differ: legacy %+v sharded %+v", name, lres.Metrics, sres.Metrics)
-		}
 		// The oracle itself must be exact.
-		if want := hybrid.ExactAPSP(g); !reflect.DeepEqual(lres.Dist, want) {
+		if want := hybrid.ExactAPSP(g); !reflect.DeepEqual(oracle.Dist, want) {
 			t.Errorf("%s: legacy APSP diverges from sequential ground truth", name)
+		}
+		for _, eng := range allEngines[1:] {
+			res, err := engineNet(g, 101, eng).APSP()
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, eng, err)
+			}
+			if !reflect.DeepEqual(oracle.Dist, res.Dist) {
+				t.Errorf("%s: APSP distance matrices differ between legacy and %s", name, eng)
+			}
+			if oracle.Metrics != res.Metrics {
+				t.Errorf("%s: APSP metrics differ: legacy %+v %s %+v", name, oracle.Metrics, eng, res.Metrics)
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeAPSPBaseline(t *testing.T) {
+	g := hybrid.GridGraph(6, 6)
+	oracle, err := engineNet(g, 707, hybrid.EngineLegacy).APSPBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range allEngines[1:] {
+		res, err := engineNet(g, 707, eng).APSPBaseline()
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if !reflect.DeepEqual(oracle.Dist, res.Dist) {
+			t.Errorf("baseline APSP distances differ between legacy and %s", eng)
+		}
+		if oracle.Metrics != res.Metrics {
+			t.Errorf("baseline APSP metrics differ: legacy %+v %s %+v", oracle.Metrics, eng, res.Metrics)
 		}
 	}
 }
 
 func TestEnginesAgreeSSSP(t *testing.T) {
 	for name, g := range engineSuite(t) {
-		legacy, sharded := bothEngines(t, g, 202)
-		lres, err := legacy.SSSP(0)
+		oracle, err := engineNet(g, 202, hybrid.EngineLegacy).SSSP(0)
 		if err != nil {
 			t.Fatalf("%s legacy: %v", name, err)
 		}
-		sres, err := sharded.SSSP(0)
-		if err != nil {
-			t.Fatalf("%s sharded: %v", name, err)
-		}
-		if !reflect.DeepEqual(lres.Dist, sres.Dist) {
-			t.Errorf("%s: SSSP distances differ between engines", name)
-		}
-		if lres.Metrics.Rounds != sres.Metrics.Rounds {
-			t.Errorf("%s: SSSP round counts differ: %d vs %d", name, lres.Metrics.Rounds, sres.Metrics.Rounds)
+		for _, eng := range allEngines[1:] {
+			res, err := engineNet(g, 202, eng).SSSP(0)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, eng, err)
+			}
+			if !reflect.DeepEqual(oracle.Dist, res.Dist) {
+				t.Errorf("%s: SSSP distances differ between legacy and %s", name, eng)
+			}
+			if oracle.Metrics.Rounds != res.Metrics.Rounds {
+				t.Errorf("%s: SSSP round counts differ: %d vs %d (%s)", name, oracle.Metrics.Rounds, res.Metrics.Rounds, eng)
+			}
 		}
 	}
 }
@@ -82,40 +109,78 @@ func TestEnginesAgreeDiameter(t *testing.T) {
 		if name == "weighted-grid" {
 			continue // Diameter is defined on unweighted graphs.
 		}
-		legacy, sharded := bothEngines(t, g, 303)
-		lres, err := legacy.Diameter(hybrid.DiameterCor52, 0.5)
+		oracle, err := engineNet(g, 303, hybrid.EngineLegacy).Diameter(hybrid.DiameterCor52, 0.5)
 		if err != nil {
 			t.Fatalf("%s legacy: %v", name, err)
 		}
-		sres, err := sharded.Diameter(hybrid.DiameterCor52, 0.5)
-		if err != nil {
-			t.Fatalf("%s sharded: %v", name, err)
-		}
-		if lres.Estimate != sres.Estimate {
-			t.Errorf("%s: diameter estimates differ: %d vs %d", name, lres.Estimate, sres.Estimate)
-		}
-		if lres.Metrics != sres.Metrics {
-			t.Errorf("%s: diameter metrics differ", name)
+		for _, eng := range allEngines[1:] {
+			res, err := engineNet(g, 303, eng).Diameter(hybrid.DiameterCor52, 0.5)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, eng, err)
+			}
+			if oracle.Estimate != res.Estimate {
+				t.Errorf("%s: diameter estimates differ: %d vs %d (%s)", name, oracle.Estimate, res.Estimate, eng)
+			}
+			if oracle.Metrics != res.Metrics {
+				t.Errorf("%s: diameter metrics differ between legacy and %s", name, eng)
+			}
 		}
 	}
 }
 
 func TestEnginesAgreeKSSP(t *testing.T) {
 	g := hybrid.GridGraph(6, 6)
-	legacy, sharded := bothEngines(t, g, 404)
 	sources := []int{0, 17, 35}
-	lres, err := legacy.KSSP(sources, hybrid.VariantCor47, 0.5)
+	oracle, err := engineNet(g, 404, hybrid.EngineLegacy).KSSP(sources, hybrid.VariantCor47, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sres, err := sharded.KSSP(sources, hybrid.VariantCor47, 0.5)
+	for _, eng := range allEngines[1:] {
+		res, err := engineNet(g, 404, eng).KSSP(sources, hybrid.VariantCor47, 0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if !reflect.DeepEqual(oracle.Dist, res.Dist) {
+			t.Errorf("KSSP estimates differ between legacy and %s", eng)
+		}
+		if oracle.Metrics != res.Metrics {
+			t.Errorf("KSSP metrics differ: legacy %+v %s %+v", oracle.Metrics, eng, res.Metrics)
+		}
+	}
+}
+
+func TestEnginesAgreeTokenRouting(t *testing.T) {
+	g := hybrid.GridGraph(6, 6)
+	n := g.N()
+	specs := make([]hybrid.RoutingSpec, n)
+	for v := range specs {
+		next := (v + 1) % n
+		prev := (v - 1 + n) % n
+		specs[v] = hybrid.RoutingSpec{
+			Send:   []hybrid.RoutingToken{{Label: hybrid.RoutingLabel{S: v, R: next}, Value: int64(v)}},
+			Expect: []hybrid.RoutingLabel{{S: prev, R: v}},
+			InS:    true,
+			InR:    true,
+			KS:     1,
+			KR:     1,
+			PS:     1,
+			PR:     1,
+		}
+	}
+	oracleOut, oracleM, err := engineNet(g, 505, hybrid.EngineLegacy).TokenRouting(specs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(lres.Dist, sres.Dist) {
-		t.Error("KSSP estimates differ between engines")
-	}
-	if lres.Metrics != sres.Metrics {
-		t.Errorf("KSSP metrics differ: legacy %+v sharded %+v", lres.Metrics, sres.Metrics)
+	for _, eng := range allEngines[1:] {
+		out, m, err := engineNet(g, 505, eng).TokenRouting(specs)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if !reflect.DeepEqual(oracleOut, out) {
+			t.Errorf("routed tokens differ between legacy and %s", eng)
+		}
+		if oracleM != m {
+			t.Errorf("routing metrics differ: legacy %+v %s %+v", oracleM, eng, m)
+		}
 	}
 }

@@ -7,6 +7,27 @@ import (
 	hybrid "repro"
 )
 
+// Engines change wall-clock speed only: for a fixed seed, the goroutine
+// engines and the goroutine-free step engine (fastest on large inputs)
+// produce byte-identical results and Metrics. See ARCHITECTURE.md for the
+// engine guide.
+func ExampleWithEngine() {
+	g := hybrid.GridGraph(6, 6)
+	step, err := hybrid.New(g, hybrid.WithSeed(1), hybrid.WithEngine(hybrid.EngineStep)).APSP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded, err := hybrid.New(g, hybrid.WithSeed(1), hybrid.WithEngine(hybrid.EngineSharded)).APSP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("corner to corner:", step.Dist[0][35])
+	fmt.Println("identical metrics:", step.Metrics == sharded.Metrics)
+	// Output:
+	// corner to corner: 10
+	// identical metrics: true
+}
+
 // The headline result: exact all-pairs shortest paths in O~(sqrt n) HYBRID
 // rounds (Theorem 1.1).
 func ExampleNetwork_APSP() {

@@ -9,11 +9,13 @@
 // O(log n) messages of O(log n) bits per round to arbitrary nodes. The
 // package runs real message-passing node programs under a synchronous
 // round barrier and reports the paper's cost measures: rounds, global
-// messages, per-round load. Two interchangeable round engines execute the
-// programs (WithEngine): the sharded worker-pool engine (default) and the
-// legacy goroutine-per-node engine, which is kept as a differential-
-// testing oracle — both produce byte-identical results and Metrics for a
-// fixed seed.
+// messages, per-round load. Three interchangeable round engines execute
+// the programs (WithEngine): the sharded worker-pool engine (default), the
+// goroutine-free step engine that runs each node as a resumable state
+// machine (fastest on large inputs), and the legacy goroutine-per-node
+// engine, kept as a differential-testing oracle — all three produce
+// byte-identical results and Metrics for a fixed seed. ARCHITECTURE.md
+// documents the engine designs and when to pick which.
 //
 // Results implemented (all exact/approximation guarantees are verified by
 // the test suite against sequential ground truth):
@@ -63,9 +65,17 @@ const (
 	EngineSharded = sim.EngineSharded
 	// EngineLegacy is the original goroutine-per-node engine with a single
 	// delivery coordinator. It is slower but maximally simple, and is kept
-	// as a differential-testing oracle: for any fixed seed both engines
+	// as a differential-testing oracle: for any fixed seed all engines
 	// produce byte-identical results and Metrics.
 	EngineLegacy = sim.EngineLegacy
+	// EngineStep is the goroutine-free engine (sim v3): each node runs as
+	// an explicit resumable state machine and the round loop itself is the
+	// barrier, removing the scheduler wake/park cost that dominates large
+	// runs. APSP (all variants) and TokenRouting run step-native machines
+	// on it; the remaining algorithms run through a goroutine-backed
+	// adapter, still byte-identical, at roughly EngineSharded speed. See
+	// ARCHITECTURE.md for the design and measured numbers.
+	EngineStep = sim.EngineStep
 )
 
 // Network wraps a local communication graph with run configuration.
@@ -84,7 +94,8 @@ func WithSeed(seed int64) Option {
 
 // WithEngine selects the round engine (default EngineSharded). Engines
 // change wall-clock speed only: results and Metrics are engine-independent
-// for a fixed seed.
+// for a fixed seed. EngineStep is the fastest on large inputs (no
+// goroutine barrier); see ARCHITECTURE.md for the measured tradeoffs.
 func WithEngine(e Engine) Option {
 	return func(nw *Network) { nw.cfg.Engine = e }
 }
@@ -130,33 +141,59 @@ type APSPResult struct {
 // APSP solves all-pairs shortest paths exactly in O~(sqrt n) rounds
 // (Theorem 1.1).
 func (nw *Network) APSP() (*APSPResult, error) {
-	return nw.runAPSP(func(env *sim.Env) []int64 {
-		return hybridapsp.Compute(env, hybridapsp.Params{})
-	})
+	return nw.runAPSP(
+		func(env *sim.Env) []int64 {
+			return hybridapsp.Compute(env, hybridapsp.Params{})
+		},
+		func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return hybridapsp.NewComputeMachine(env, hybridapsp.Params{}, done)
+		})
 }
 
 // APSPBaseline solves APSP exactly with the O~(n^(2/3)) algorithm of
 // Augustine et al. (SODA '20) that Theorem 1.1 improves on.
 func (nw *Network) APSPBaseline() (*APSPResult, error) {
-	return nw.runAPSP(func(env *sim.Env) []int64 {
-		return hybridapsp.BaselineCompute(env, hybridapsp.Params{})
-	})
+	return nw.runAPSP(
+		func(env *sim.Env) []int64 {
+			return hybridapsp.BaselineCompute(env, hybridapsp.Params{})
+		},
+		func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return hybridapsp.NewBaselineComputeMachine(env, hybridapsp.Params{}, done)
+		})
 }
 
 // APSPLocalOnly solves APSP using only the local mode, flooding for the
 // given number of rounds (exact iff rounds >= hop diameter) — the Θ(D)
 // LOCAL baseline of the paper's §1.
 func (nw *Network) APSPLocalOnly(rounds int) (*APSPResult, error) {
-	return nw.runAPSP(func(env *sim.Env) []int64 {
-		return hybridapsp.LocalCompute(env, rounds)
-	})
+	return nw.runAPSP(
+		func(env *sim.Env) []int64 {
+			return hybridapsp.LocalCompute(env, rounds)
+		},
+		func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return hybridapsp.NewLocalComputeMachine(env, rounds, done)
+		})
 }
 
-func (nw *Network) runAPSP(f func(*sim.Env) []int64) (*APSPResult, error) {
+// runAPSP executes an APSP variant: the goroutine form on the goroutine
+// engines, the step-machine form on EngineStep. Both forms are
+// byte-identical for a fixed seed (the differential tests hold the
+// goroutine form as the oracle).
+func (nw *Network) runAPSP(f func(*sim.Env) []int64,
+	mf func(*sim.Env, func([]int64)) sim.StepProgram) (*APSPResult, error) {
 	out := make([][]int64, nw.g.N())
-	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
-		out[env.ID()] = f(env)
-	})
+	var m Metrics
+	var err error
+	if nw.cfg.Engine == EngineStep {
+		m, err = sim.RunStep(nw.g, nw.cfg, func(env *sim.Env) sim.StepProgram {
+			id := env.ID()
+			return mf(env, func(res []int64) { out[id] = res })
+		})
+	} else {
+		m, err = sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
+			out[env.ID()] = f(env)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -358,9 +395,19 @@ func (nw *Network) TokenRouting(specs []RoutingSpec) ([][]RoutingToken, Metrics,
 		return nil, Metrics{}, err
 	}
 	out := make([][]routing.Token, nw.g.N())
-	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
-		out[env.ID()] = routing.Route(env, specs[env.ID()], routing.Params{})
-	})
+	var m Metrics
+	var err error
+	if nw.cfg.Engine == EngineStep {
+		m, err = sim.RunStep(nw.g, nw.cfg, func(env *sim.Env) sim.StepProgram {
+			id := env.ID()
+			return routing.NewRouteProgram(env, specs[id], routing.Params{},
+				func(toks []routing.Token) { out[id] = toks })
+		})
+	} else {
+		m, err = sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
+			out[env.ID()] = routing.Route(env, specs[env.ID()], routing.Params{})
+		})
+	}
 	if err != nil {
 		return nil, Metrics{}, err
 	}

@@ -141,14 +141,14 @@ func E11ModeComparison(cfg Config) Table {
 		d := int(graph.HopDiameter(g))
 
 		// LOCAL-only: flood D rounds.
-		localRounds, ok1 := runAPSPVariant(g, cfg.Seed, want, func(env *sim.Env) []int64 {
-			return hybridapsp.LocalCompute(env, d)
+		localRounds, ok1 := runAPSPVariant(g, cfg, want, func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return hybridapsp.NewLocalComputeMachine(env, d, done)
 		})
 		// NCC-only: pipeline-broadcast all edges, compute locally.
 		nccRounds, ok2 := runNCCOnlyAPSP(g, cfg.Seed, want)
 		// HYBRID: Theorem 1.1.
-		hybridRounds, ok3 := runAPSPVariant(g, cfg.Seed, want, func(env *sim.Env) []int64 {
-			return hybridapsp.Compute(env, hybridapsp.Params{})
+		hybridRounds, ok3 := runAPSPVariant(g, cfg, want, func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return hybridapsp.NewComputeMachine(env, hybridapsp.Params{}, done)
 		})
 		t.Add(gg.name, fmt.Sprint(g.N()), fmt.Sprint(d),
 			fmt.Sprint(localRounds), fmt.Sprint(nccRounds), fmt.Sprint(hybridRounds),

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // Config scales the experiment sweeps.
@@ -17,6 +19,22 @@ type Config struct {
 	Seed int64
 	// Quick restricts sweeps to the smallest sizes (used by -short runs).
 	Quick bool
+	// XL extends the scaling tables (E3, E6) to n ∈ {1024, 4096} — the
+	// sizes the step engine made affordable. Ignored when Quick is set.
+	// Expect minutes, not seconds; see the README's experiments section.
+	XL bool
+	// Engine selects the round engine the experiments run on (default
+	// EngineSharded). Results are engine-independent; XL sweeps want
+	// EngineStep.
+	Engine sim.Engine
+}
+
+// xlSizes appends the XL scaling sizes when enabled.
+func (c Config) xlSizes(sizes []int) []int {
+	if c.XL && !c.Quick {
+		sizes = append(sizes, 1024, 4096)
+	}
+	return sizes
 }
 
 // Table is one experiment's output.

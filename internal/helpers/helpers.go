@@ -127,15 +127,15 @@ func Compute(env *sim.Env, inW bool, mu int, params Params) Result {
 	// Phase 3: learn all members of the own cluster. Nodes flood records of
 	// their own cluster for 2β rounds (intra-cluster diameter bound).
 	known := map[int]memberRec{env.ID(): {ID: env.ID(), Ruler: bestRuler, InW: inW}}
-	delta := []memberRec{known[env.ID()]}
+	delta := memberRecs{known[env.ID()]}
 	for step := 0; step < 2*beta; step++ {
 		if len(delta) > 0 {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []memberRec
+		var next memberRecs
 		for _, lm := range in.Local {
-			recs, ok := lm.Payload.([]memberRec)
+			recs, ok := lm.Payload.(memberRecs)
 			if !ok {
 				continue
 			}

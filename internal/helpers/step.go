@@ -1,0 +1,146 @@
+package helpers
+
+import (
+	"sort"
+
+	"repro/internal/ruling"
+	"repro/internal/sim"
+)
+
+// Machine is the step-machine form of Compute (Algorithm 1), built from the
+// ruling-set machine and two flood loops. After it finishes, Res holds the
+// node's helper-family view. The port is faithful to Compute: identical
+// messages, randomness order, and round count on every engine.
+type Machine struct {
+	// Res is this node's Algorithm 1 output; valid once Step returned true.
+	Res Result
+
+	prog sim.StepProgram
+}
+
+// NewMachine builds the collective Algorithm 1 machine; all nodes must
+// start it in the same round with the same µ and params. It takes exactly
+// Rounds(n, µ) rounds, like Compute.
+func NewMachine(env *sim.Env, inW bool, mu int, params Params) *Machine {
+	p := params.withDefaults()
+	if mu < 1 {
+		mu = 1
+	}
+	n := env.N()
+	beta := 2 * mu * sim.Log2Ceil(n)
+	m := &Machine{}
+
+	var rule *ruling.Machine
+	// Phase 2 state: the lexicographically smallest (dist, ruler) heard.
+	bestDist, bestRuler := n+1, -1
+	improved := false
+	// Phase 3 state: the known members of the own cluster.
+	var known map[int]memberRec
+	var delta memberRecs
+
+	m.prog = sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			rule = ruling.NewMachine(env, mu)
+			return rule
+		},
+		func(env *sim.Env) sim.StepProgram {
+			if rule.InSet {
+				bestDist, bestRuler = 0, env.ID()
+				improved = true
+			}
+			return &sim.Loop{
+				Rounds: beta,
+				Send: func(env *sim.Env, i int) {
+					if improved {
+						env.BroadcastLocal(clusterWave{Ruler: bestRuler, Dist: bestDist})
+						improved = false
+					}
+				},
+				Recv: func(env *sim.Env, in sim.Inbox, i int) {
+					for _, lm := range in.Local {
+						w, ok := lm.Payload.(clusterWave)
+						if !ok {
+							continue
+						}
+						d := w.Dist + 1
+						if d < bestDist || (d == bestDist && w.Ruler < bestRuler) {
+							bestDist, bestRuler = d, w.Ruler
+							improved = true
+						}
+					}
+				},
+			}
+		},
+		func(env *sim.Env) sim.StepProgram {
+			known = map[int]memberRec{env.ID(): {ID: env.ID(), Ruler: bestRuler, InW: inW}}
+			delta = memberRecs{known[env.ID()]}
+			return &sim.Loop{
+				Rounds: 2 * beta,
+				Send: func(env *sim.Env, i int) {
+					if len(delta) > 0 {
+						env.BroadcastLocal(delta)
+					}
+				},
+				Recv: func(env *sim.Env, in sim.Inbox, i int) {
+					var next memberRecs
+					for _, lm := range in.Local {
+						recs, ok := lm.Payload.(memberRecs)
+						if !ok {
+							continue
+						}
+						for _, r := range recs {
+							if r.Ruler != bestRuler {
+								continue // other cluster, not ours to track or forward
+							}
+							if _, seen := known[r.ID]; !seen {
+								known[r.ID] = r
+								next = append(next, r)
+							}
+						}
+					}
+					delta = next
+				},
+			}
+		},
+		sim.Finish(func(env *sim.Env) {
+			res := Result{
+				Ruler:     bestRuler,
+				RulerDist: bestDist,
+				InW:       inW,
+				Mu:        mu,
+			}
+			for id, r := range known {
+				res.Members = append(res.Members, id)
+				if r.InW {
+					res.WMembers = append(res.WMembers, id)
+				}
+			}
+			sort.Ints(res.Members)
+			sort.Ints(res.WMembers)
+			clusterSize := len(res.Members)
+			num := p.QBoost * 2 * mu
+			for _, w := range res.WMembers {
+				if w == env.ID() || num >= clusterSize || env.Rand().Intn(clusterSize) < num {
+					res.Helps = append(res.Helps, w)
+				}
+			}
+			m.Res = res
+		}),
+	)
+	return m
+}
+
+// Step implements sim.StepProgram.
+func (m *Machine) Step(env *sim.Env) bool { return m.prog.Step(env) }
+
+// PayloadWords implements sim.WordSized: a cluster wave carries a ruler ID
+// and a hop distance.
+func (clusterWave) PayloadWords() int64 { return 2 }
+
+// memberRecs is the local-mode payload of the intra-cluster member flood: a
+// batch of member records.
+type memberRecs []memberRec
+
+// PayloadWords implements sim.WordSized: each record is an ID and a ruler
+// ID (the InW bit rides along for free).
+func (r memberRecs) PayloadWords() int64 { return 2 * int64(len(r)) }

@@ -155,7 +155,13 @@ func publishSkeleton(env *sim.Env, skel skeleton.Result, dp ncc.DisseminateParam
 	maxEdges := int(ncc.Aggregate(env, int64(myEdges), ncc.AggMax))
 	totalEdges := int(ncc.Aggregate(env, int64(myEdges), ncc.AggSum))
 	all := ncc.Disseminate(env, mine, totalEdges, maxEdges, dp)
+	return skeletonAPSPFromTokens(all)
+}
 
+// skeletonAPSPFromTokens rebuilds the skeleton graph from the disseminated
+// edge tokens and solves APSP on it locally — the local tail of
+// publishSkeleton, shared with the step form (publishMachine).
+func skeletonAPSPFromTokens(all []ncc.Token) ([]int, [][]int64) {
 	memberSet := map[int]bool{}
 	for _, t := range all {
 		memberSet[int(t.A)] = true

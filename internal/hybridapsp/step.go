@@ -1,0 +1,275 @@
+package hybridapsp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ncc"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// Step-machine forms of the APSP algorithms (see sim.StepProgram): the
+// Theorem 1.1 pipeline, the [3] baseline, and the pure-LOCAL baseline,
+// composed from the skeleton/ncc/routing machines exactly as the goroutine
+// forms compose the blocking calls. done receives the node's distance
+// vector when the machine finishes. Each port is faithful — identical
+// messages, randomness order, and round count — so the differential tests
+// can hold the goroutine forms as oracles.
+
+// NewComputeMachine is the step form of Compute (Theorem 1.1).
+func NewComputeMachine(env *sim.Env, params Params, done func([]int64)) sim.StepProgram {
+	sp := params.skeletonParams()
+	n := env.N()
+	h := sp.H(n)
+
+	var skelM *skeleton.ComputeMachine
+	var exploreM *skeleton.ExploreMachine
+	var pub *publishMachine
+	var sessM *routing.SessionMachine
+	var routeM *routing.RouteMachine
+	var floodM *skeleton.FloodVectorsMachine
+	var skel skeleton.Result
+	var local []int64
+	var members []int
+	var dS [][]int64
+	var send []routing.Token
+	var expect []routing.Label
+
+	return sim.Sequence(
+		// Phase 1: skeleton + the all-sources exploration for close pairs.
+		func(env *sim.Env) sim.StepProgram {
+			skelM = skeleton.NewComputeMachine(env, sp, false)
+			return skelM
+		},
+		func(env *sim.Env) sim.StepProgram {
+			skel = skelM.Res
+			exploreM = skeleton.NewExploreMachine(env, true, h)
+			return exploreM
+		},
+		// Phase 2: make E_S public knowledge, solve APSP on S locally.
+		func(env *sim.Env) sim.StepProgram {
+			local = exploreM.Near
+			pub = newPublishMachine(env, skel, params.Dissemination)
+			return pub
+		},
+		// Phase 3: token routing — every node sends d(v, s) to each s ∈ V_S.
+		func(env *sim.Env) sim.StepProgram {
+			members, dS = pub.Members, pub.DS
+			rank := make(map[int]int, len(members))
+			for i, id := range members {
+				rank[id] = i
+			}
+			send = make([]routing.Token, 0, len(members))
+			for i, s := range members {
+				send = append(send, routing.Token{
+					Label: routing.Label{S: env.ID(), R: s, I: 0},
+					Value: bestViaSkeleton(skel, rank, dS, i),
+				})
+			}
+			if skel.InSkeleton {
+				expect = make([]routing.Label, 0, n)
+				for v := 0; v < n; v++ {
+					expect = append(expect, routing.Label{S: v, R: env.ID(), I: 0})
+				}
+			}
+			sessM = routing.NewSessionMachine(env, true, skel.InSkeleton,
+				len(members), n, 1.0, sp.SampleProb(n), params.Routing)
+			return sessM
+		},
+		func(env *sim.Env) sim.StepProgram {
+			routeM = routing.NewRouteMachine(sessM.Out, send, expect)
+			return routeM
+		},
+		// Phase 4: skeleton nodes flood their distance vectors to radius h.
+		func(env *sim.Env) sim.StepProgram {
+			got := routeM.Out
+			var mine []int64
+			if skel.InSkeleton && len(got) > 0 {
+				mine = make([]int64, n)
+				for v := range mine {
+					mine[v] = -1
+				}
+				for _, t := range got {
+					mine[t.S] = t.Value
+				}
+			}
+			floodM = skeleton.NewFloodVectorsMachine(env, mine, h)
+			return floodM
+		},
+		// Final combine: local estimate vs routes through nearby skeletons.
+		sim.Finish(func(env *sim.Env) {
+			labels := floodM.Known
+			out := local
+			for s, ds := range skel.Near {
+				vec := labels[s]
+				if vec == nil {
+					continue
+				}
+				for v := 0; v < n; v++ {
+					if dv := vec[v]; dv >= 0 {
+						if cand := satAdd(ds, dv); cand < out[v] {
+							out[v] = cand
+						}
+					}
+				}
+			}
+			done(out)
+		}),
+	)
+}
+
+// NewBaselineComputeMachine is the step form of BaselineCompute (the
+// O~(n^(2/3)) APSP of [3]).
+func NewBaselineComputeMachine(env *sim.Env, params Params, done func([]int64)) sim.StepProgram {
+	if params.X <= 0 || params.X >= 1 {
+		params.X = 1.0 / 3.0
+	}
+	sp := params.skeletonParams()
+	n := env.N()
+	h := sp.H(n)
+
+	var skelM *skeleton.ComputeMachine
+	var exploreM *skeleton.ExploreMachine
+	var pub *publishMachine
+	var aggMax, aggSum *ncc.AggregateMachine
+	var diss *ncc.DisseminateMachine
+	var skel skeleton.Result
+	var local []int64
+	var mine []ncc.Token
+
+	return sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			skelM = skeleton.NewComputeMachine(env, sp, false)
+			return skelM
+		},
+		func(env *sim.Env) sim.StepProgram {
+			skel = skelM.Res
+			exploreM = skeleton.NewExploreMachine(env, true, h)
+			return exploreM
+		},
+		func(env *sim.Env) sim.StepProgram {
+			local = exploreM.Near
+			pub = newPublishMachine(env, skel, params.Dissemination)
+			return pub
+		},
+		// Broadcast every dd(v, s) label — the [3] bottleneck step.
+		func(env *sim.Env) sim.StepProgram {
+			mine = make([]ncc.Token, 0, len(skel.Near))
+			for s, d := range skel.Near {
+				mine = append(mine, ncc.Token{A: int64(s), B: int64(env.ID()), C: d})
+			}
+			aggMax = ncc.NewAggregateMachine(env, int64(len(mine)), ncc.AggMax)
+			return aggMax
+		},
+		func(env *sim.Env) sim.StepProgram {
+			aggSum = ncc.NewAggregateMachine(env, int64(len(mine)), ncc.AggSum)
+			return aggSum
+		},
+		func(env *sim.Env) sim.StepProgram {
+			diss = ncc.NewDisseminateMachine(env, mine, int(aggSum.Out), int(aggMax.Out), params.Dissemination)
+			return diss
+		},
+		sim.Finish(func(env *sim.Env) {
+			members, dS := pub.Members, pub.DS
+			rank := make(map[int]int, len(members))
+			for i, id := range members {
+				rank[id] = i
+			}
+			// Labels: dd(v, s) as a dense (skeleton rank, node) matrix.
+			lab := make([]int64, len(members)*n)
+			for i := range lab {
+				lab[i] = -1
+			}
+			for _, t := range diss.Out {
+				if i, ok := rank[int(t.A)]; ok {
+					lab[i*n+int(t.B)] = t.C
+				}
+			}
+			out := local
+			for s1, d1 := range skel.Near {
+				i, ok := rank[s1]
+				if !ok {
+					continue
+				}
+				for j := range members {
+					row := lab[j*n : (j+1)*n]
+					base := satAdd(d1, dS[i][j])
+					if base >= graph.Inf {
+						continue
+					}
+					for v := 0; v < n; v++ {
+						if dv := row[v]; dv >= 0 {
+							if cand := satAdd(base, dv); cand < out[v] {
+								out[v] = cand
+							}
+						}
+					}
+				}
+			}
+			done(out)
+		}),
+	)
+}
+
+// NewLocalComputeMachine is the step form of LocalCompute (the Θ(D)
+// LOCAL-only baseline).
+func NewLocalComputeMachine(env *sim.Env, rounds int, done func([]int64)) sim.StepProgram {
+	var exploreM *skeleton.ExploreMachine
+	return sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			exploreM = skeleton.NewExploreMachine(env, true, rounds)
+			return exploreM
+		},
+		sim.Finish(func(env *sim.Env) { done(exploreM.Near) }),
+	)
+}
+
+// publishMachine is the step form of publishSkeleton: aggregate the edge
+// counts, disseminate E_S, and locally solve APSP on the skeleton graph.
+type publishMachine struct {
+	// Members is the sorted skeleton member list and DS its all-pairs
+	// distance matrix (indices = member ranks); valid once Step returned
+	// true.
+	Members []int
+	DS      [][]int64
+
+	prog sim.StepProgram
+}
+
+func newPublishMachine(env *sim.Env, skel skeleton.Result, dp ncc.DisseminateParams) *publishMachine {
+	pm := &publishMachine{}
+	var mine []ncc.Token
+	myEdges := 0
+	if skel.InSkeleton {
+		mine = append(mine, ncc.Token{A: int64(env.ID()), B: int64(env.ID()), C: 0}) // member marker
+		for s, d := range skel.Near {
+			if s > env.ID() {
+				mine = append(mine, ncc.Token{A: int64(env.ID()), B: int64(s), C: d})
+			}
+		}
+		myEdges = len(mine)
+	}
+	var aggMax, aggSum *ncc.AggregateMachine
+	var diss *ncc.DisseminateMachine
+	pm.prog = sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			aggMax = ncc.NewAggregateMachine(env, int64(myEdges), ncc.AggMax)
+			return aggMax
+		},
+		func(env *sim.Env) sim.StepProgram {
+			aggSum = ncc.NewAggregateMachine(env, int64(myEdges), ncc.AggSum)
+			return aggSum
+		},
+		func(env *sim.Env) sim.StepProgram {
+			diss = ncc.NewDisseminateMachine(env, mine, int(aggSum.Out), int(aggMax.Out), dp)
+			return diss
+		},
+		sim.Finish(func(env *sim.Env) {
+			pm.Members, pm.DS = skeletonAPSPFromTokens(diss.Out)
+		}),
+	)
+	return pm
+}
+
+// Step implements sim.StepProgram.
+func (pm *publishMachine) Step(env *sim.Env) bool { return pm.prog.Step(env) }

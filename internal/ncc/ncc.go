@@ -303,15 +303,15 @@ func Disseminate(env *sim.Env, mine []Token, k, ell int, params DisseminateParam
 
 	// Phase 3: delta flooding over the local network for r rounds. A staged
 	// payload slice is never mutated afterwards (receivers hold references).
-	delta := tokensOf(known)
+	delta := tokenBatch(tokensOf(known))
 	for round := 0; round < r; round++ {
 		if len(delta) > 0 {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []Token
+		var next tokenBatch
 		for _, lm := range in.Local {
-			ts, ok := lm.Payload.([]Token)
+			ts, ok := lm.Payload.(tokenBatch)
 			if !ok {
 				continue
 			}

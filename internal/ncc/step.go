@@ -1,0 +1,309 @@
+package ncc
+
+import "repro/internal/sim"
+
+// Step-machine forms of the package's collective primitives (see
+// sim.StepProgram). Each is a faithful port of its goroutine twin —
+// identical messages, randomness order, and round count — so the two forms
+// are interchangeable on every engine; the algorithm packages compose these
+// machines into goroutine-free ports of the paper's protocols.
+
+// AggregateMachine is the step form of Aggregate: a binomial-tree
+// convergecast to node 0 followed by a downcast, 2*ceil(log2 n) rounds.
+type AggregateMachine struct {
+	// Out is the aggregate, announced at every node; valid once Step
+	// returned true.
+	Out int64
+
+	loop sim.Loop
+	op   AggOp
+	logN int
+	n    int
+}
+
+// NewAggregateMachine builds the collective aggregation machine; all nodes
+// must start it in the same round with the same op.
+func NewAggregateMachine(env *sim.Env, value int64, op AggOp) *AggregateMachine {
+	m := &AggregateMachine{Out: value, op: op, logN: sim.Log2Ceil(env.N()), n: env.N()}
+	m.loop = sim.Loop{Rounds: 2 * m.logN, Send: m.send, Recv: m.recv}
+	return m
+}
+
+// Step implements sim.StepProgram.
+func (m *AggregateMachine) Step(env *sim.Env) bool { return m.loop.Step(env) }
+
+func (m *AggregateMachine) send(env *sim.Env, i int) {
+	if i < m.logN {
+		b := i
+		stride, half := 1<<(b+1), 1<<b
+		if env.ID()%stride == half {
+			env.SendGlobal(env.ID()-half, kindAggUp, m.Out, 0, 0, 0)
+		}
+		return
+	}
+	b := 2*m.logN - 1 - i
+	stride, half := 1<<(b+1), 1<<b
+	if env.ID()%stride == 0 && env.ID()+half < m.n {
+		env.SendGlobal(env.ID()+half, kindAggDown, m.Out, 0, 0, 0)
+	}
+}
+
+func (m *AggregateMachine) recv(env *sim.Env, in sim.Inbox, i int) {
+	if i < m.logN {
+		for _, gm := range in.Global {
+			if gm.Kind == kindAggUp {
+				m.Out = m.op.combine(m.Out, gm.F0)
+			}
+		}
+		return
+	}
+	for _, gm := range in.Global {
+		if gm.Kind == kindAggDown {
+			m.Out = gm.F0
+		}
+	}
+}
+
+// BroadcastWordsMachine is the step form of BroadcastWords: binomial
+// doubling of a word vector from a designated source.
+type BroadcastWordsMachine struct {
+	// Out is the padded word vector; valid once Step returned true (only
+	// then is it guaranteed complete).
+	Out []int64
+
+	loop          sim.Loop
+	n             int
+	source        int
+	maxWords      int
+	msgs          int
+	roundsPerStep int
+	budget        int
+	have          bool
+	sendIdx       int
+}
+
+// NewBroadcastWordsMachine builds the collective broadcast machine; all
+// nodes must start it in the same round with the same source and maxWords.
+func NewBroadcastWordsMachine(env *sim.Env, source int, words []int64, maxWords int) *BroadcastWordsMachine {
+	m := &BroadcastWordsMachine{
+		n:        env.N(),
+		source:   source,
+		maxWords: maxWords,
+		budget:   env.GlobalCap(),
+		Out:      make([]int64, maxWords),
+	}
+	if env.ID() == source {
+		copy(m.Out, words)
+		m.have = true
+	}
+	m.msgs = (maxWords + 2) / 3 // 3 words per message, field 3 is the index
+	m.roundsPerStep = (m.msgs + m.budget - 1) / m.budget
+	if m.roundsPerStep == 0 {
+		m.roundsPerStep = 1
+	}
+	m.loop = sim.Loop{Rounds: sim.Log2Ceil(m.n) * m.roundsPerStep, Send: m.send, Recv: m.recv}
+	return m
+}
+
+// Step implements sim.StepProgram.
+func (m *BroadcastWordsMachine) Step(env *sim.Env) bool { return m.loop.Step(env) }
+
+func (m *BroadcastWordsMachine) offset(id int) int { return ((id-m.source)%m.n + m.n) % m.n }
+
+func (m *BroadcastWordsMachine) send(env *sim.Env, i int) {
+	b := i / m.roundsPerStep
+	if i%m.roundsPerStep == 0 {
+		m.sendIdx = 0
+	}
+	partnerOff := m.offset(env.ID()) + (1 << b)
+	if m.have && m.offset(env.ID()) < (1<<b) && partnerOff < m.n {
+		dst := (m.source + partnerOff) % m.n
+		for s := 0; s < m.budget && m.sendIdx < m.msgs; s++ {
+			j := m.sendIdx * 3
+			var w0, w1, w2 int64
+			w0 = m.Out[j]
+			if j+1 < m.maxWords {
+				w1 = m.Out[j+1]
+			}
+			if j+2 < m.maxWords {
+				w2 = m.Out[j+2]
+			}
+			env.SendGlobal(dst, kindBcastWord, w0, w1, w2, int64(m.sendIdx))
+			m.sendIdx++
+		}
+	}
+}
+
+func (m *BroadcastWordsMachine) recv(env *sim.Env, in sim.Inbox, i int) {
+	for _, gm := range in.Global {
+		if gm.Kind != kindBcastWord {
+			continue
+		}
+		j := int(gm.F3) * 3
+		m.Out[j] = gm.F0
+		if j+1 < m.maxWords {
+			m.Out[j+1] = gm.F1
+		}
+		if j+2 < m.maxWords {
+			m.Out[j+2] = gm.F2
+		}
+		m.have = true
+	}
+}
+
+// DisseminateMachine is the step form of Disseminate: balancing,
+// replication, and local flooding, with the identical deterministic
+// schedule.
+type DisseminateMachine struct {
+	// Out is the sorted known-token set; valid once Step returned true.
+	Out []Token
+
+	prog sim.StepProgram
+}
+
+// replicateJob mirrors Disseminate's phase 2 job record.
+type replicateJob struct {
+	t    Token
+	left int
+}
+
+// NewDisseminateMachine builds the collective dissemination machine; all
+// nodes must start it in the same round with the same k, ell and params.
+func NewDisseminateMachine(env *sim.Env, mine []Token, k, ell int, params DisseminateParams) *DisseminateMachine {
+	p := params.withDefaults()
+	n := env.N()
+	logN := sim.Log2Ceil(n)
+	budget := env.GlobalCap()
+	m := &DisseminateMachine{}
+	known := make(map[Token]bool, k)
+	for _, t := range mine {
+		known[t] = true
+	}
+	if k <= 0 {
+		m.Out = tokensOf(known)
+		m.prog = sim.Sequence()
+		return m
+	}
+
+	// The deterministic schedule, identical at every node (and identical to
+	// Disseminate's).
+	r := isqrt(k)
+	if min := 2 * logN * p.FloodSlack; r < min {
+		r = min
+	}
+	copies := (p.ReplicationFactor*n*logN + r - 1) / r
+	if copies > n {
+		copies = n
+	}
+	heldBound := 2*((k+n-1)/n) + 8*logN
+	balanceRounds := (ell + budget - 1) / budget
+	replicateRounds := (heldBound*copies + budget - 1) / budget
+
+	held := make([]Token, 0, heldBound)
+	idx := 0
+	var jobs []replicateJob
+	ji := 0
+	var delta tokenBatch
+
+	m.prog = sim.Sequence(
+		// Phase 1: balancing.
+		func(env *sim.Env) sim.StepProgram {
+			return &sim.Loop{
+				Rounds: balanceRounds,
+				Send: func(env *sim.Env, i int) {
+					for s := 0; s < budget && idx < len(mine); s++ {
+						t := mine[idx]
+						idx++
+						env.SendGlobal(env.Rand().Intn(n), kindBalance, t.A, t.B, t.C, 0)
+					}
+				},
+				Recv: func(env *sim.Env, in sim.Inbox, i int) {
+					for _, gm := range in.Global {
+						if gm.Kind == kindBalance {
+							held = append(held, Token{gm.F0, gm.F1, gm.F2})
+						}
+					}
+				},
+			}
+		},
+		// Phase 2: replication, round-robin over the held tokens.
+		func(env *sim.Env) sim.StepProgram {
+			jobs = make([]replicateJob, len(held))
+			for i, t := range held {
+				jobs[i] = replicateJob{t: t, left: copies}
+			}
+			return &sim.Loop{
+				Rounds: replicateRounds,
+				Send: func(env *sim.Env, i int) {
+					for s := 0; s < budget; s++ {
+						scanned := 0
+						for len(jobs) > 0 && scanned < len(jobs) {
+							if jobs[ji%len(jobs)].left > 0 {
+								break
+							}
+							ji++
+							scanned++
+						}
+						if len(jobs) == 0 || scanned == len(jobs) {
+							break
+						}
+						j := &jobs[ji%len(jobs)]
+						j.left--
+						ji++
+						env.SendGlobal(env.Rand().Intn(n), kindReplicate, j.t.A, j.t.B, j.t.C, 0)
+					}
+				},
+				Recv: func(env *sim.Env, in sim.Inbox, i int) {
+					for _, gm := range in.Global {
+						if gm.Kind == kindReplicate {
+							known[Token{gm.F0, gm.F1, gm.F2}] = true
+						}
+					}
+				},
+			}
+		},
+		// Phase 3: delta flooding over the local network.
+		func(env *sim.Env) sim.StepProgram {
+			for _, j := range jobs {
+				known[j.t] = true
+			}
+			delta = tokenBatch(tokensOf(known))
+			return &sim.Loop{
+				Rounds: r,
+				Send: func(env *sim.Env, i int) {
+					if len(delta) > 0 {
+						env.BroadcastLocal(delta)
+					}
+				},
+				Recv: func(env *sim.Env, in sim.Inbox, i int) {
+					var next tokenBatch
+					for _, lm := range in.Local {
+						ts, ok := lm.Payload.(tokenBatch)
+						if !ok {
+							continue
+						}
+						for _, t := range ts {
+							if !known[t] {
+								known[t] = true
+								next = append(next, t)
+							}
+						}
+					}
+					delta = next
+				},
+			}
+		},
+		sim.Finish(func(env *sim.Env) { m.Out = tokensOf(known) }),
+	)
+	return m
+}
+
+// Step implements sim.StepProgram.
+func (m *DisseminateMachine) Step(env *sim.Env) bool { return m.prog.Step(env) }
+
+// tokenBatch is the local-mode payload of the dissemination flood: a batch
+// of tokens.
+type tokenBatch []Token
+
+// PayloadWords implements sim.WordSized: each token is three words.
+func (b tokenBatch) PayloadWords() int64 { return 3 * int64(len(b)) }

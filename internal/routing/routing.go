@@ -391,7 +391,7 @@ func announceHelpers(env *sim.Env, res helpers.Result, mu int) map[int][]int {
 		}
 		return false
 	}
-	var delta []helperAnnounce
+	var delta helperAnnounces
 	for _, w := range res.Helps {
 		record(w, env.ID())
 		delta = append(delta, helperAnnounce{Ruler: res.Ruler, W: w, Helper: env.ID()})
@@ -401,9 +401,9 @@ func announceHelpers(env *sim.Env, res helpers.Result, mu int) map[int][]int {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []helperAnnounce
+		var next helperAnnounces
 		for _, lm := range in.Local {
-			anns, ok := lm.Payload.([]helperAnnounce)
+			anns, ok := lm.Payload.(helperAnnounces)
 			if !ok {
 				continue
 			}
@@ -437,7 +437,7 @@ func (f *family) spread(env *sim.Env, myItems []Token) []Token {
 	me := env.ID()
 
 	clear(f.items)
-	var delta []tokenBatch
+	var delta tokenBatches
 	if len(myItems) > 0 {
 		f.items[me] = myItems
 		delta = append(delta, tokenBatch{Ruler: f.res.Ruler, Owner: me, Items: myItems})
@@ -447,9 +447,9 @@ func (f *family) spread(env *sim.Env, myItems []Token) []Token {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []tokenBatch
+		var next tokenBatches
 		for _, lm := range in.Local {
-			tbs, ok := lm.Payload.([]tokenBatch)
+			tbs, ok := lm.Payload.(tokenBatches)
 			if !ok {
 				continue
 			}
@@ -503,7 +503,7 @@ func (s *Session) collect(env *sim.Env, gotTokens []Token) []Token {
 	beta := 2 * s.famR.mu * sim.Log2Ceil(n)
 	me := env.ID()
 	seen := map[int]bool{}
-	var delta []deliveredBatch
+	var delta deliveredBatches
 	var out []Token
 	if len(gotTokens) > 0 {
 		seen[me] = true
@@ -519,9 +519,9 @@ func (s *Session) collect(env *sim.Env, gotTokens []Token) []Token {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []deliveredBatch
+		var next deliveredBatches
 		for _, lm := range in.Local {
-			dbs, ok := lm.Payload.([]deliveredBatch)
+			dbs, ok := lm.Payload.(deliveredBatches)
 			if !ok {
 				continue
 			}

@@ -1,0 +1,539 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitrand"
+	"repro/internal/helpers"
+	"repro/internal/ncc"
+	"repro/internal/sim"
+)
+
+// Step-machine forms of the token routing protocol (see sim.StepProgram):
+// SessionMachine ports NewSession, RouteMachine ports Session.Route, and
+// NewRouteProgram composes the two like the package-level Route. Each is a
+// faithful port of its goroutine twin — identical messages, randomness
+// order, and round count — sharing the Session/family state, the hash, and
+// the pure helpers with the goroutine form.
+
+// SessionMachine computes a routing Session without blocking: Algorithm 1
+// twice, the hash-seed broadcast, and the cluster-local helper
+// announcements. After it finishes, Out holds the session, ready for any
+// number of RouteMachine runs.
+type SessionMachine struct {
+	// Out is the computed session; valid once Step returned true.
+	Out *Session
+
+	prog sim.StepProgram
+}
+
+// NewSessionMachine builds the collective session machine; all nodes must
+// start it in the same round and agree on kS, kR, pS, pR and params,
+// exactly like NewSession.
+func NewSessionMachine(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, params Params) *SessionMachine {
+	p := params.withDefaults()
+	n := env.N()
+	if n > 1<<14 {
+		panic(fmt.Errorf("routing: n = %d exceeds the 2^14 node-ID limit of the label keying (Label.pack)", n))
+	}
+	logN := sim.Log2Ceil(n)
+
+	muS := p.MuS
+	if muS <= 0 {
+		muS = mu(kS, pS)
+	}
+	muR := p.MuR
+	if muR <= 0 {
+		muR = mu(kR, pR)
+	}
+	kHash := p.HashKFactor * logN
+
+	m := &SessionMachine{}
+	s := &Session{env: env, params: p}
+	var helpS, helpR *helpers.Machine
+	var bw *ncc.BroadcastWordsMachine
+	var annS, annR *announceMachine
+	m.prog = sim.Sequence(
+		// Helper families for senders and receivers (Algorithm 1 twice).
+		func(env *sim.Env) sim.StepProgram {
+			helpS = helpers.NewMachine(env, inS, muS, p.Helpers)
+			return helpS
+		},
+		func(env *sim.Env) sim.StepProgram {
+			helpR = helpers.NewMachine(env, inR, muR, p.Helpers)
+			return helpR
+		},
+		func(env *sim.Env) sim.StepProgram {
+			// Node 0 draws the seed; everyone gets it via binomial broadcast
+			// (Lemma 2.3).
+			var seedWords []int64
+			if env.ID() == 0 {
+				h := bitrand.NewKWiseHash(kHash, n, env.Rand())
+				for _, c := range h.Seed() {
+					seedWords = append(seedWords, int64(c))
+				}
+			}
+			bw = ncc.NewBroadcastWordsMachine(env, 0, seedWords, kHash)
+			return bw
+		},
+		sim.Finish(func(env *sim.Env) {
+			seed := make([]uint64, len(bw.Out))
+			for i, w := range bw.Out {
+				seed[i] = uint64(w)
+			}
+			s.famS = family{res: helpS.Res, mu: muS, items: map[int][]Token{}}
+			s.famR = family{res: helpR.Res, mu: muR, items: map[int][]Token{}}
+			s.hash = bitrand.FromSeed(seed, n)
+		}),
+		func(env *sim.Env) sim.StepProgram {
+			annS = newAnnounceMachine(env, s.famS.res, muS)
+			return annS
+		},
+		func(env *sim.Env) sim.StepProgram {
+			s.famS.helperSets = annS.Sets
+			annR = newAnnounceMachine(env, s.famR.res, muR)
+			return annR
+		},
+		sim.Finish(func(env *sim.Env) {
+			s.famR.helperSets = annR.Sets
+			s.famS.myOwners = helpersOf(env.ID(), s.famS.helperSets)
+			s.famR.myOwners = helpersOf(env.ID(), s.famR.helperSets)
+			m.Out = s
+		}),
+	)
+	return m
+}
+
+// Step implements sim.StepProgram.
+func (m *SessionMachine) Step(env *sim.Env) bool { return m.prog.Step(env) }
+
+// RouteMachine runs one routing instance over a computed session:
+// Algorithm 3's token spreading, Algorithm 4's hash-routed forwarding with
+// the aggregated phase lengths, the reply drain, and the final
+// cluster-local collection.
+type RouteMachine struct {
+	// Out is this node's received tokens (sorted); valid once Step returned
+	// true.
+	Out []Token
+
+	prog sim.StepProgram
+}
+
+// NewRouteMachine builds the collective routing machine over s; every node
+// must start it in the same round with consistent instance inputs, exactly
+// like Session.Route.
+func NewRouteMachine(s *Session, send []Token, expect []Label) *RouteMachine {
+	env := s.env
+	budget := env.GlobalCap()
+	hash := s.hash
+	inter := &s.inter
+
+	m := &RouteMachine{}
+	var spreadS, spreadR *spreadMachine
+	var aggSend, aggReq, aggHeld *ncc.AggregateMachine
+	var myTokenJobs, myLabelJobs []Token
+	var gotTokens []Token
+	var replyQueue []reply
+	var coll *collectMachine
+	ji, li, rq := 0, 0, 0
+
+	// answerSend and answerRecv are shared by the request loop and the
+	// drain bursts: pace queued replies at the cap, collect answers.
+	answerSend := func(env *sim.Env, sent int) int {
+		for ; sent < budget && rq < len(replyQueue); sent++ {
+			r := replyQueue[rq]
+			rq++
+			env.SendGlobal(r.to, kindAnswer, int64(r.tok.S), int64(r.tok.R), r.tok.I, r.tok.Value)
+		}
+		return sent
+	}
+	answerRecv := func(in sim.Inbox) {
+		for _, gm := range in.Global {
+			if gm.Kind == kindAnswer {
+				gotTokens = append(gotTokens, Token{
+					Label: Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2},
+					Value: gm.F3,
+				})
+			}
+		}
+	}
+
+	m.prog = sim.Sequence(
+		// Algorithm 3, second loop: flood tokens and expected labels to the
+		// clusters; helpers pick their balanced share by rank.
+		func(env *sim.Env) sim.StepProgram {
+			spreadS = newSpreadMachine(env, &s.famS, canonicalTokens(send))
+			return spreadS
+		},
+		func(env *sim.Env) sim.StepProgram {
+			myTokenJobs = spreadS.Jobs
+			expectTokens := make([]Token, len(expect))
+			for i, l := range expect {
+				expectTokens[i] = Token{Label: l}
+			}
+			spreadR = newSpreadMachine(env, &s.famR, canonicalTokens(expectTokens))
+			return spreadR
+		},
+		// Algorithm 4: forward tokens to intermediates; the phase length is
+		// the exact global maximum load.
+		func(env *sim.Env) sim.StepProgram {
+			myLabelJobs = spreadR.Jobs
+			aggSend = ncc.NewAggregateMachine(env, int64(len(myTokenJobs)), ncc.AggMax)
+			return aggSend
+		},
+		func(env *sim.Env) sim.StepProgram {
+			inter.reset()
+			return &sim.Loop{
+				Rounds: ceilDiv(int(aggSend.Out), budget),
+				Send: func(env *sim.Env, i int) {
+					for c := 0; c < budget && ji < len(myTokenJobs); c++ {
+						t := myTokenJobs[ji]
+						ji++
+						env.SendGlobal(hash.Hash(t.pack()), kindToken, int64(t.S), int64(t.R), t.I, t.Value)
+					}
+				},
+				Recv: func(env *sim.Env, in sim.Inbox, i int) {
+					for _, gm := range in.Global {
+						if gm.Kind == kindToken {
+							inter.put(Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}.pack(), gm.F3)
+						}
+					}
+				},
+			}
+		},
+		// Algorithm 4: receiver-helpers request their labels; intermediates
+		// answer, pacing replies at the cap.
+		func(env *sim.Env) sim.StepProgram {
+			aggReq = ncc.NewAggregateMachine(env, int64(len(myLabelJobs)), ncc.AggMax)
+			return aggReq
+		},
+		func(env *sim.Env) sim.StepProgram {
+			aggHeld = ncc.NewAggregateMachine(env, int64(inter.len()), ncc.AggMax)
+			return aggHeld
+		},
+		func(env *sim.Env) sim.StepProgram {
+			replyQueue = s.replyQueue[:0]
+			return &sim.Loop{
+				Rounds: ceilDiv(int(aggReq.Out), budget) + ceilDiv(int(aggHeld.Out), budget) + 1,
+				Send: func(env *sim.Env, i int) {
+					sent := 0
+					for ; sent < budget && li < len(myLabelJobs); sent++ {
+						l := myLabelJobs[li].Label
+						li++
+						env.SendGlobal(hash.Hash(l.pack()), kindRequest, int64(l.S), int64(l.R), l.I, 0)
+					}
+					answerSend(env, sent)
+				},
+				Recv: func(env *sim.Env, in sim.Inbox, i int) {
+					for _, gm := range in.Global {
+						switch gm.Kind {
+						case kindRequest:
+							l := Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}
+							if v, ok := inter.get(l.pack()); ok {
+								replyQueue = append(replyQueue, reply{to: gm.Src, tok: Token{Label: l, Value: v}})
+							}
+						case kindAnswer:
+							gotTokens = append(gotTokens, Token{
+								Label: Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2},
+								Value: gm.F3,
+							})
+						}
+					}
+				},
+			}
+		},
+		// Flush any replies still queued: aggregate the remaining max and
+		// drain in bursts until it reaches zero.
+		func(env *sim.Env) sim.StepProgram {
+			var agg *ncc.AggregateMachine
+			return sim.Chain(func(env *sim.Env) sim.StepProgram {
+				if agg != nil {
+					left := int(agg.Out)
+					agg = nil
+					if left == 0 {
+						return nil
+					}
+					return &sim.Loop{
+						Rounds: ceilDiv(left, budget),
+						Send:   func(env *sim.Env, i int) { answerSend(env, 0) },
+						Recv:   func(env *sim.Env, in sim.Inbox, i int) { answerRecv(in) },
+					}
+				}
+				agg = ncc.NewAggregateMachine(env, int64(len(replyQueue)-rq), ncc.AggMax)
+				return agg
+			})
+		},
+		// Receivers collect tokens from their helpers (final loop of
+		// Algorithm 4).
+		func(env *sim.Env) sim.StepProgram {
+			s.replyQueue = replyQueue
+			coll = newCollectMachine(env, s, gotTokens)
+			return coll
+		},
+		sim.Finish(func(env *sim.Env) { m.Out = canonicalTokens(coll.out) }),
+	)
+	return m
+}
+
+// Step implements sim.StepProgram.
+func (m *RouteMachine) Step(env *sim.Env) bool { return m.prog.Step(env) }
+
+// NewRouteProgram is the step form of the package-level Route: session
+// construction followed by one routing instance, handing the received
+// tokens to done.
+func NewRouteProgram(env *sim.Env, spec Spec, params Params, done func([]Token)) sim.StepProgram {
+	var sm *SessionMachine
+	var rm *RouteMachine
+	return sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			sm = NewSessionMachine(env, spec.InS, spec.InR, spec.KS, spec.KR, spec.PS, spec.PR, params)
+			return sm
+		},
+		func(env *sim.Env) sim.StepProgram {
+			rm = NewRouteMachine(sm.Out, spec.Send, spec.Expect)
+			return rm
+		},
+		sim.Finish(func(env *sim.Env) { done(rm.Out) }),
+	)
+}
+
+// announceMachine is the step form of announceHelpers: 2β rounds of
+// cluster-local flooding of (w, helper) pairs so all cluster members agree
+// on each H_w.
+type announceMachine struct {
+	// Sets is the helper directory of this node's cluster (w -> sorted
+	// helper IDs); valid once Step returned true.
+	Sets map[int][]int
+
+	loop  sim.Loop
+	ruler int
+	known u64set
+	delta helperAnnounces
+}
+
+func newAnnounceMachine(env *sim.Env, res helpers.Result, mu int) *announceMachine {
+	beta := 2 * mu * sim.Log2Ceil(env.N())
+	a := &announceMachine{Sets: map[int][]int{}, ruler: res.Ruler}
+	for _, w := range res.Helps {
+		a.record(w, env.ID())
+		a.delta = append(a.delta, helperAnnounce{Ruler: res.Ruler, W: w, Helper: env.ID()})
+	}
+	a.loop = sim.Loop{
+		Rounds: 2 * beta,
+		Send: func(env *sim.Env, i int) {
+			if len(a.delta) > 0 {
+				env.BroadcastLocal(a.delta)
+			}
+		},
+		Recv: func(env *sim.Env, in sim.Inbox, i int) {
+			var next helperAnnounces
+			for _, lm := range in.Local {
+				anns, ok := lm.Payload.(helperAnnounces)
+				if !ok {
+					continue
+				}
+				for _, an := range anns {
+					if an.Ruler != a.ruler {
+						continue
+					}
+					if a.record(an.W, an.Helper) {
+						next = append(next, an)
+					}
+				}
+			}
+			a.delta = next
+		},
+	}
+	return a
+}
+
+// record registers one (w, helper) pair, reporting whether it was new.
+func (a *announceMachine) record(w, helper int) bool {
+	if a.known.add(uint64(w)<<32 | uint64(uint32(helper))) {
+		a.Sets[w] = append(a.Sets[w], helper)
+		return true
+	}
+	return false
+}
+
+// Step implements sim.StepProgram.
+func (a *announceMachine) Step(env *sim.Env) bool {
+	if a.loop.Step(env) {
+		for w := range a.Sets {
+			sort.Ints(a.Sets[w])
+		}
+		return true
+	}
+	return false
+}
+
+// spreadMachine is the step form of family.spread: flood each owner's item
+// batch through its cluster for 2β rounds, then pick this helper's share by
+// rank.
+type spreadMachine struct {
+	// Jobs holds the items this node is responsible for as a helper
+	// (canonical); valid once Step returned true.
+	Jobs []Token
+
+	loop  sim.Loop
+	f     *family
+	delta tokenBatches
+}
+
+func newSpreadMachine(env *sim.Env, f *family, myItems []Token) *spreadMachine {
+	beta := 2 * f.mu * sim.Log2Ceil(env.N())
+	me := env.ID()
+	sp := &spreadMachine{f: f}
+	clear(f.items)
+	if len(myItems) > 0 {
+		f.items[me] = myItems
+		sp.delta = append(sp.delta, tokenBatch{Ruler: f.res.Ruler, Owner: me, Items: myItems})
+	}
+	sp.loop = sim.Loop{
+		Rounds: 2 * beta,
+		Send: func(env *sim.Env, i int) {
+			if len(sp.delta) > 0 {
+				env.BroadcastLocal(sp.delta)
+			}
+		},
+		Recv: func(env *sim.Env, in sim.Inbox, i int) {
+			var next tokenBatches
+			for _, lm := range in.Local {
+				tbs, ok := lm.Payload.(tokenBatches)
+				if !ok {
+					continue
+				}
+				for _, tb := range tbs {
+					if tb.Ruler != f.res.Ruler {
+						continue
+					}
+					if _, seen := f.items[tb.Owner]; seen {
+						continue
+					}
+					f.items[tb.Owner] = tb.Items
+					next = append(next, tb)
+				}
+			}
+			sp.delta = next
+		},
+	}
+	return sp
+}
+
+// Step implements sim.StepProgram.
+func (sp *spreadMachine) Step(env *sim.Env) bool {
+	if !sp.loop.Step(env) {
+		return false
+	}
+	// Pick my share: for every owner I help, take items by rank (identical
+	// to family.spread's epilogue).
+	me := env.ID()
+	var mine []Token
+	for _, w := range sp.f.myOwners {
+		hs := sp.f.helperSets[w]
+		rank := sort.SearchInts(hs, me)
+		toks := sp.f.items[w]
+		for j := rank; j < len(toks); j += len(hs) {
+			mine = append(mine, toks[j])
+		}
+	}
+	sp.Jobs = canonicalTokens(mine)
+	return true
+}
+
+// collectMachine is the step form of Session.collect: flood each helper's
+// answered-token batch through the receiver clusters for 2β rounds.
+type collectMachine struct {
+	out []Token
+
+	loop  sim.Loop
+	seen  map[int]bool
+	delta deliveredBatches
+}
+
+func newCollectMachine(env *sim.Env, s *Session, gotTokens []Token) *collectMachine {
+	beta := 2 * s.famR.mu * sim.Log2Ceil(env.N())
+	me := env.ID()
+	c := &collectMachine{seen: map[int]bool{}}
+	ruler := s.famR.res.Ruler
+	if len(gotTokens) > 0 {
+		c.seen[me] = true
+		c.delta = append(c.delta, deliveredBatch{Ruler: ruler, Injector: me, Items: gotTokens})
+		for _, t := range gotTokens {
+			if t.R == me {
+				c.out = append(c.out, t)
+			}
+		}
+	}
+	c.loop = sim.Loop{
+		Rounds: 2 * beta,
+		Send: func(env *sim.Env, i int) {
+			if len(c.delta) > 0 {
+				env.BroadcastLocal(c.delta)
+			}
+		},
+		Recv: func(env *sim.Env, in sim.Inbox, i int) {
+			var next deliveredBatches
+			for _, lm := range in.Local {
+				dbs, ok := lm.Payload.(deliveredBatches)
+				if !ok {
+					continue
+				}
+				for _, db := range dbs {
+					if db.Ruler != ruler {
+						continue
+					}
+					if c.seen[db.Injector] {
+						continue
+					}
+					c.seen[db.Injector] = true
+					next = append(next, db)
+					for _, t := range db.Items {
+						if t.R == me {
+							c.out = append(c.out, t)
+						}
+					}
+				}
+			}
+			c.delta = next
+		},
+	}
+	return c
+}
+
+// Step implements sim.StepProgram.
+func (c *collectMachine) Step(env *sim.Env) bool { return c.loop.Step(env) }
+
+// helperAnnounces is the local-mode payload of the helper-membership flood.
+type helperAnnounces []helperAnnounce
+
+// PayloadWords implements sim.WordSized: each announcement is a ruler, an
+// owner, and a helper ID.
+func (h helperAnnounces) PayloadWords() int64 { return 3 * int64(len(h)) }
+
+// tokenBatches is the local-mode payload of the Routing-Preparation flood.
+type tokenBatches []tokenBatch
+
+// PayloadWords implements sim.WordSized: each batch is its ruler and owner
+// plus four words per item (label and value).
+func (t tokenBatches) PayloadWords() int64 {
+	words := int64(0)
+	for _, tb := range t {
+		words += 2 + 4*int64(len(tb.Items))
+	}
+	return words
+}
+
+// deliveredBatches is the local-mode payload of the final collection flood.
+type deliveredBatches []deliveredBatch
+
+// PayloadWords implements sim.WordSized: each batch is its ruler and
+// injector plus four words per token.
+func (d deliveredBatches) PayloadWords() int64 {
+	words := int64(0)
+	for _, db := range d {
+		words += 2 + 4*int64(len(db.Items))
+	}
+	return words
+}

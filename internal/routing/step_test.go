@@ -1,0 +1,74 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+var stepEngines = []sim.Engine{sim.EngineLegacy, sim.EngineSharded, sim.EngineStep}
+
+// buildStepInstance constructs a small everyone-sends routing instance.
+func buildStepInstance(n int) []Spec {
+	specs := make([]Spec, n)
+	rng := rand.New(rand.NewSource(31))
+	for v := 0; v < n; v++ {
+		r := rng.Intn(n)
+		tok := Token{Label: Label{S: v, R: r, I: 0}, Value: int64(v * 7)}
+		specs[v].Send = []Token{tok}
+		specs[v].InS = true
+		specs[r].InR = true
+		specs[r].Expect = append(specs[r].Expect, tok.Label)
+	}
+	kR := 1
+	for v := range specs {
+		if len(specs[v].Expect) > kR {
+			kR = len(specs[v].Expect)
+		}
+	}
+	for v := range specs {
+		specs[v].KS = 1
+		specs[v].KR = kR
+		specs[v].PS = 1
+		specs[v].PR = 1
+	}
+	return specs
+}
+
+// TestRouteProgramMatchesRoute proves the step form of the full routing
+// protocol byte-identical to Route on every engine.
+func TestRouteProgramMatchesRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.SparseConnected(40, 1.3, rng)
+	specs := buildStepInstance(g.N())
+	if err := Validate(specs); err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([][]Token, g.N())
+	wantM, err := sim.Run(g, sim.Config{Seed: 12, Engine: sim.EngineLegacy}, func(env *sim.Env) {
+		want[env.ID()] = Route(env, specs[env.ID()], Params{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range stepEngines {
+		got := make([][]Token, g.N())
+		gotM, err := sim.RunStep(g, sim.Config{Seed: 12, Engine: eng}, func(env *sim.Env) sim.StepProgram {
+			id := env.ID()
+			return NewRouteProgram(env, specs[id], Params{}, func(toks []Token) { got[id] = toks })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("engine=%s: routed tokens differ", eng)
+		}
+		if wantM != gotM {
+			t.Errorf("engine=%s: metrics differ: %+v vs %+v", eng, wantM, gotM)
+		}
+	}
+}

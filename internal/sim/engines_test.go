@@ -61,12 +61,14 @@ func TestEnginesAgree(t *testing.T) {
 	for name, g := range graphs {
 		for seed := int64(1); seed <= 3; seed++ {
 			legacyOut, legacyM := runChatter(t, g, Config{Seed: seed, Engine: EngineLegacy})
-			shardedOut, shardedM := runChatter(t, g, Config{Seed: seed, Engine: EngineSharded})
-			if !reflect.DeepEqual(legacyOut, shardedOut) {
-				t.Fatalf("%s seed %d: per-node results differ between engines", name, seed)
-			}
-			if legacyM != shardedM {
-				t.Fatalf("%s seed %d: metrics differ: legacy %+v sharded %+v", name, seed, legacyM, shardedM)
+			for _, eng := range []Engine{EngineSharded, EngineStep} {
+				out, m := runChatter(t, g, Config{Seed: seed, Engine: eng})
+				if !reflect.DeepEqual(legacyOut, out) {
+					t.Fatalf("%s seed %d: per-node results differ between legacy and %s", name, seed, eng)
+				}
+				if legacyM != m {
+					t.Fatalf("%s seed %d: metrics differ: legacy %+v %s %+v", name, seed, legacyM, eng, m)
+				}
 			}
 		}
 	}
@@ -146,8 +148,8 @@ func TestShardedViolationsDeterministic(t *testing.T) {
 
 // TestEngineString pins the flag/benchmark labels.
 func TestEngineString(t *testing.T) {
-	if EngineSharded.String() != "sharded" || EngineLegacy.String() != "legacy" {
-		t.Fatalf("engine names changed: %q / %q", EngineSharded, EngineLegacy)
+	if EngineSharded.String() != "sharded" || EngineLegacy.String() != "legacy" || EngineStep.String() != "step" {
+		t.Fatalf("engine names changed: %q / %q / %q", EngineSharded, EngineLegacy, EngineStep)
 	}
 }
 

@@ -107,9 +107,18 @@ func (env *Env) GlobalBudget() int { return env.eng.sendCap - env.globalSentThis
 // Step ends the node's round: all staged messages are handed to the engine,
 // and the call blocks until every node has ended the round. It returns the
 // inbox of messages delivered for the next round. The returned slices are
-// owned by the caller until the next Step call; the sharded engine reuses
-// them afterwards, so programs must not retain them across Steps.
+// owned by the caller until the next Step call; the sharded and step
+// engines reuse them afterwards, so programs must not retain them across
+// Steps. Under the step engine the call is legal only from a Program
+// running through the goroutine-backed adapter — StepPrograms read
+// Incoming() instead and never block.
 func (env *Env) Step() Inbox {
+	if a := env.adapter; a != nil {
+		return a.await(env)
+	}
+	if env.eng.stepMode {
+		panic(fmt.Errorf("sim: node %d called Env.Step from a StepProgram; use Incoming", env.id))
+	}
 	if env.eng.aborted.Load() {
 		panic(errAbort)
 	}
@@ -129,6 +138,13 @@ func (env *Env) Step() Inbox {
 	env.inGlobal = nil
 	return in
 }
+
+// Incoming returns the inbox delivered for the round currently being
+// executed: what a Program would have gotten from its last Env.Step call.
+// It is the read side of the StepProgram contract (see step.go); the slices
+// are owned by the node until its next round, exactly like Step's return
+// value, and must not be retained across rounds.
+func (env *Env) Incoming() Inbox { return env.curInbox }
 
 // StepIdle advances the node r rounds without sending anything, discarding
 // anything received. Used to keep phase-aligned nodes in lockstep while a

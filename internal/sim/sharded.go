@@ -34,12 +34,21 @@ import (
 // differential-testing oracle: for any program and seed, both engines must
 // produce byte-identical results and Metrics. engines_test.go enforces this.
 
+// shardTask is one unit of worker-pool work: deliver shard k (the default)
+// or, under the step engine, advance the state machines of shard k's nodes
+// by one round (see step.go).
+type shardTask struct {
+	k    int
+	step bool
+}
+
 // shardResult is one worker's metric delta for one round. Merging the
 // results is commutative (sums and maxes), so the aggregate Metrics do not
 // depend on worker scheduling.
 type shardResult struct {
 	finished   int
 	localMsgs  int64
+	localBits  int64
 	globalMsgs int64
 	globalBits int64
 	cutMsgs    int64
@@ -72,12 +81,17 @@ func (e *engine) initSharded() {
 		env.outGlobalSh = make([][]GlobalMsg, e.nShards)
 	}
 	if e.nShards > 1 {
-		e.workCh = make(chan int)
+		e.workCh = make(chan shardTask)
 		e.resCh = make(chan shardResult)
 		for w := 0; w < e.nShards; w++ {
 			go func() {
-				for k := range e.workCh {
-					e.resCh <- e.runShard(k)
+				for t := range e.workCh {
+					if t.step {
+						e.stepShard(t.k)
+						e.resCh <- shardResult{}
+					} else {
+						e.resCh <- e.runShard(t.k)
+					}
 				}
 			}()
 		}
@@ -103,12 +117,13 @@ func (e *engine) deliverSharded() int {
 		total = e.runShard(0)
 	} else {
 		for k := 0; k < e.nShards; k++ {
-			e.workCh <- k
+			e.workCh <- shardTask{k: k}
 		}
 		for k := 0; k < e.nShards; k++ {
 			r := <-e.resCh
 			total.finished += r.finished
 			total.localMsgs += r.localMsgs
+			total.localBits += r.localBits
 			total.globalMsgs += r.globalMsgs
 			total.globalBits += r.globalBits
 			total.cutMsgs += r.cutMsgs
@@ -126,6 +141,7 @@ func (e *engine) deliverSharded() int {
 		}
 	}
 	e.metrics.LocalMsgs += total.localMsgs
+	e.metrics.LocalBits += total.localBits
 	e.metrics.GlobalMsgs += total.globalMsgs
 	e.metrics.GlobalBits += total.globalBits
 	e.metrics.CutGlobalMsgs += total.cutMsgs
@@ -189,6 +205,7 @@ func (e *engine) runShard(k int) shardResult {
 			dst := e.envs[out.to]
 			dst.inLocalBuf[gen] = append(dst.inLocalBuf[gen], LocalMsg{From: s, Payload: out.payload})
 			r.localMsgs++
+			r.localBits += payloadWords(out.payload) * int64(e.logN)
 		}
 		env.outLocalSh[k] = env.outLocalSh[k][:0]
 		for _, gm := range env.outGlobalSh[k] {

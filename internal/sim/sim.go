@@ -7,26 +7,38 @@
 //   - Global mode (NCC): in each round, every node may send O(log n)
 //     messages of O(log n) bits each to arbitrary nodes.
 //
-// Each node runs its Program in its own goroutine; a call to Env.Step ends
-// the node's round and blocks until every other node has ended the round
-// too, at which point the engine delivers all staged messages. The number of
-// barrier generations is exactly the round complexity the paper's theorems
-// are stated in.
+// A node algorithm is written in one of two interchangeable execution
+// models. A Program is a blocking function: a call to Env.Step ends the
+// node's round and blocks until every other node has ended the round too,
+// at which point the engine delivers all staged messages. A StepProgram is
+// an explicit resumable state machine: one Step call runs exactly one
+// round segment (read Env.Incoming, stage sends, report done), and nothing
+// ever blocks. Either model runs on every engine — see step.go for the
+// contract and the adapters — and the number of barrier generations is
+// exactly the round complexity the paper's theorems are stated in.
 //
 // # Engines
 //
-// Two interchangeable round engines implement the barrier and delivery;
+// Three interchangeable round engines implement the barrier and delivery;
 // Config.Engine selects one.
 //
-// EngineSharded (the default, "sim v2") splits the node set into contiguous
-// shards, at most GOMAXPROCS of them. Senders stage outgoing messages into
-// per-destination-shard buckets as they send, and at the round boundary a
-// persistent worker pool drains the buckets shard by shard — each worker
-// owns the inboxes, receive counters, and metric deltas of exactly one
-// shard, so delivery is lock-free and scales with cores. Inboxes are
-// preallocated and double-buffered so steady-state rounds allocate nothing,
-// and senders that staged nothing are skipped via dirty flags (sparse
-// rounds are the common case in delta-style flooding). See sharded.go.
+// EngineSharded (the default, "sim v2") runs each Program as a goroutine
+// and splits the node set into contiguous shards, at most GOMAXPROCS of
+// them. Senders stage outgoing messages into per-destination-shard buckets
+// as they send, and at the round boundary a persistent worker pool drains
+// the buckets shard by shard — each worker owns the inboxes, receive
+// counters, and metric deltas of exactly one shard, so delivery is
+// lock-free and scales with cores. Inboxes are preallocated and
+// double-buffered so steady-state rounds allocate nothing, and senders
+// that staged nothing are skipped via dirty flags (sparse rounds are the
+// common case in delta-style flooding). See sharded.go.
+//
+// EngineStep ("sim v3") runs each node as a StepProgram with no per-node
+// goroutine: the engine's round loop iterates the machines in
+// shard-parallel batches and then runs the sharded delivery path — the
+// loop IS the barrier, so rounds cost zero scheduler wake/park cycles.
+// Programs without a step port run on it through a goroutine-backed
+// adapter. See step.go and RunStep.
 //
 // EngineLegacy is the original engine: a single coordinator goroutine
 // drains every node's flat outbox in node-ID order with freshly allocated
@@ -34,13 +46,14 @@
 //
 // # Determinism
 //
-// Both engines are deterministic and agree bit for bit: a destination's
-// inbox is ordered by (sender ID, send order) regardless of engine or
-// shard count, per-node and public randomness derive only from Config.Seed,
-// and the sharded engine's metric merge is a commutative sum/max fold, so
-// for a fixed seed both engines produce identical message sequences,
-// results, and Metrics. engines_test.go and the top-level differential
-// tests enforce this property.
+// All engines are deterministic and agree bit for bit: a destination's
+// inbox is ordered by (sender ID, send order) regardless of engine, shard
+// count, or execution model, per-node and public randomness derive only
+// from Config.Seed, and the engines' metric merges are commutative
+// sum/max folds, so for a fixed seed every engine produces identical
+// message sequences, results, and Metrics. engines_test.go, step_test.go,
+// and the top-level differential tests enforce this property across the
+// engine × execution-model matrix.
 //
 // # Model enforcement
 //
@@ -85,6 +98,24 @@ type LocalMsg struct {
 	Payload interface{}
 }
 
+// WordSized is implemented by local-mode payload types that want accurate
+// accounting in Metrics.LocalBits: PayloadWords reports the payload's size
+// in O(log n)-bit words (the unit all of the paper's bandwidth statements
+// use). Payloads that do not implement it are charged one word. The method
+// must be cheap and must not mutate the payload: every engine calls it once
+// per delivered message on the delivery path.
+type WordSized interface {
+	PayloadWords() int64
+}
+
+// payloadWords returns the LocalBits word charge for one payload.
+func payloadWords(p interface{}) int64 {
+	if ws, ok := p.(WordSized); ok {
+		return ws.PayloadWords()
+	}
+	return 1
+}
+
 // Inbox holds everything a node received in the round that just ended.
 // Local messages are ordered by sender ID, then send order; global messages
 // by sender ID, then send order. The ordering is deterministic.
@@ -103,19 +134,31 @@ type Engine int
 
 const (
 	// EngineSharded is the default engine: per-shard staging buckets,
-	// worker-pool delivery, reused double-buffered inboxes.
+	// worker-pool delivery, reused double-buffered inboxes. Node programs
+	// are goroutines synchronized at the round barrier.
 	EngineSharded Engine = iota
 	// EngineLegacy is the original goroutine-per-node engine with a single
 	// delivery coordinator, kept as a differential-testing oracle.
 	EngineLegacy
+	// EngineStep runs each node as an explicit resumable state machine
+	// (StepProgram) with no per-node goroutine: the engine's round loop IS
+	// the barrier, so rounds cost zero scheduler wake/park cycles. Legacy
+	// Programs run on it through a goroutine-backed adapter; step-native
+	// programs run on the goroutine engines through DriveProgram. See
+	// step.go and RunStep.
+	EngineStep
 )
 
 // String names the engine for flags and benchmark labels.
 func (e Engine) String() string {
-	if e == EngineLegacy {
+	switch e {
+	case EngineLegacy:
 		return "legacy"
+	case EngineStep:
+		return "step"
+	default:
+		return "sharded"
 	}
-	return "sharded"
 }
 
 // Config controls model parameters and instrumentation.
@@ -167,6 +210,12 @@ type Metrics struct {
 	GlobalBits int64
 	// LocalMsgs is the total number of local-mode messages delivered.
 	LocalMsgs int64
+	// LocalBits is the payload bit volume of local-mode messages: the sum
+	// over delivered local messages of the payload's word count (the
+	// WordSized contract; unknown payloads count as one word) scaled by the
+	// ceil(log2 n)-bit word size. Batch and vector payloads make per-message
+	// size very uneven, so LocalMsgs alone understates LOCAL-mode traffic.
+	LocalBits int64
 	// MaxGlobalSend is the maximum number of global messages any node sent
 	// in a single round (never exceeds the cap, which is enforced).
 	MaxGlobalSend int
@@ -224,8 +273,12 @@ type engine struct {
 	shardSize int
 	recvCount []int
 	dirty     [][]bool // [shard][sender]: sender staged something for shard
-	workCh    chan int
+	workCh    chan shardTask
 	resCh     chan shardResult
+
+	// Step-engine state (nil unless EngineStep); see step.go.
+	stepMode bool
+	progs    []StepProgram
 }
 
 // Env is a node's handle to the engine. All methods must be called only
@@ -252,6 +305,13 @@ type Env struct {
 	inLocalBuf  [2][]LocalMsg
 	inGlobalBuf [2][]GlobalMsg
 
+	// Step-engine state: the inbox of the round being executed (set by the
+	// engine before each StepProgram.Step call, or by DriveProgram under the
+	// goroutine engines) and the adapter handle when this node runs a legacy
+	// Program on the step engine (see step.go).
+	curInbox Inbox
+	adapter  *programAdapter
+
 	globalSentThisRound int
 	countedFinished     bool
 	sharedSeq           map[string]int
@@ -262,14 +322,12 @@ type localOut struct {
 	payload interface{}
 }
 
-// Run executes program on every node of g under cfg and returns the
-// collected metrics. It returns an error if any node violated the model
-// (illegal local destination, global send cap exceeded), if the run hit
-// MaxRounds, or if a program panicked.
-func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
+// newEngine validates cfg, applies defaults, and builds the engine and the
+// per-node Envs. A nil engine with a nil error means the run is empty.
+func newEngine(g *graph.Graph, cfg Config) (*engine, error) {
 	n := g.N()
 	if n == 0 {
-		return Metrics{}, nil
+		return nil, nil
 	}
 	if cfg.GlobalSendFactor <= 0 {
 		cfg.GlobalSendFactor = 1
@@ -278,7 +336,7 @@ func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
 	if cfg.Cut != nil && len(cfg.Cut) != n {
-		return Metrics{}, fmt.Errorf("sim: cut has %d entries for %d nodes", len(cfg.Cut), n)
+		return nil, fmt.Errorf("sim: cut has %d entries for %d nodes", len(cfg.Cut), n)
 	}
 	logN := Log2Ceil(n)
 	eng := &engine{
@@ -302,6 +360,24 @@ func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
 		}
 	}
 	atomic.StoreInt32(&eng.remaining, int32(n))
+	return eng, nil
+}
+
+// Run executes program on every node of g under cfg and returns the
+// collected metrics. It returns an error if any node violated the model
+// (illegal local destination, global send cap exceeded), if the run hit
+// MaxRounds, or if a program panicked. Under EngineStep the program runs
+// through the goroutine-backed adapter (see step.go); results and Metrics
+// are identical on every engine for a fixed seed.
+func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
+	if cfg.Engine == EngineStep {
+		return RunStep(g, cfg, AdaptProgram(program))
+	}
+	eng, err := newEngine(g, cfg)
+	if eng == nil {
+		return Metrics{}, err
+	}
+	n := eng.n
 	if cfg.Engine != EngineLegacy {
 		eng.initSharded()
 		defer eng.stopSharded()
@@ -328,20 +404,22 @@ func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
 
 	eng.coordinate()
 	wg.Wait()
+	return eng.results()
+}
 
-	// Round complexity = the maximum number of completed Step barriers over
-	// all nodes (the final finishing generation is not a communication
-	// round).
-	for _, env := range eng.envs {
-		if env.round > eng.metrics.Rounds {
-			eng.metrics.Rounds = env.round
+// results computes the final Metrics and error after all nodes stopped.
+// Round complexity = the maximum number of completed round barriers over
+// all nodes (the final finishing generation is not a communication round).
+func (e *engine) results() (Metrics, error) {
+	for _, env := range e.envs {
+		if env.round > e.metrics.Rounds {
+			e.metrics.Rounds = env.round
 		}
 	}
-
-	eng.errMu.Lock()
-	err := eng.err
-	eng.errMu.Unlock()
-	return eng.metrics, err
+	e.errMu.Lock()
+	err := e.err
+	e.errMu.Unlock()
+	return e.metrics, err
 }
 
 // fail records the first error and flags the abort.
@@ -412,6 +490,7 @@ func (e *engine) deliver() int {
 			dst := e.envs[out.to]
 			dst.inLocal = append(dst.inLocal, LocalMsg{From: env.id, Payload: out.payload})
 			e.metrics.LocalMsgs++
+			e.metrics.LocalBits += payloadWords(out.payload) * int64(e.logN)
 		}
 		env.outLocal = env.outLocal[:0]
 

@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file implements EngineStep ("sim v3"), the goroutine-free round
+// engine, and the StepProgram execution model it runs.
+//
+// The goroutine engines (legacy, sharded) execute each node's Program as a
+// blocking goroutine and synchronize them at a barrier inside Env.Step.
+// That is maximally convenient to program against, but it puts two
+// scheduler wake/park cycles on every (node, round) pair: at n = 16384 the
+// barrier alone costs ~0.4µs/node/round and dominates APSP wall clock.
+//
+// EngineStep removes the floor by inverting control: each node is an
+// explicit resumable state machine (StepProgram) and the engine's round
+// loop IS the barrier —
+//
+//	for every round:
+//	    for every unfinished node (in shard-parallel batches):
+//	        install the node's inbox; run its StepProgram.Step
+//	    deliver staged messages (the sharded engine's delivery path)
+//
+// No node blocks, so no node ever parks or wakes: a round costs one
+// function call per node plus delivery.
+//
+// # The StepProgram contract
+//
+// One Step call executes exactly the code a Program would run between two
+// consecutive Env.Step calls (one "round segment"):
+//
+//   - Read the round's inbox with Env.Incoming (empty on the first call).
+//     The slices are owned by the node until its next round segment and
+//     must not be retained, exactly like Env.Step's return value.
+//   - Stage sends with SendLocal / BroadcastLocal / SendGlobal as usual.
+//   - Return false to take the round barrier, true when the node is done.
+//     Returning true consumes no further rounds: it corresponds to a
+//     Program returning, and like a returning Program the node's staged
+//     messages are still delivered.
+//
+// A StepProgram must never call Env.Step (the engine panics if it does) and
+// never blocks; composition replaces blocking. Chain, Sequence, Finish and
+// Loop cover the compositions the paper's algorithms need: collective
+// phases run one after another by handing the round mid-segment from a
+// finishing machine to its successor, which reproduces the goroutine
+// programs' behavior exactly — a finishing phase only reads its last inbox,
+// a starting phase only sends, so both share one round segment the same way
+// sequential calls share a round between two Env.Step calls.
+//
+// # Compatibility across engines
+//
+// Both program models run on all three engines:
+//
+//   - A Program runs on EngineStep through a goroutine-backed adapter
+//     (AdaptProgram): the program keeps its blocking style and yields to
+//     the engine loop at every Env.Step. This keeps every algorithm working
+//     on every engine, at roughly the goroutine engines' per-round cost.
+//   - A StepProgram runs on the goroutine engines through DriveProgram,
+//     which replays the engine loop's install-inbox/step cycle inside the
+//     node's goroutine.
+//
+// Either way, for a fixed seed all three engines produce byte-identical
+// results and Metrics; the differential tests (engines_test.go here and at
+// the repository root) enforce this across the execution-model matrix.
+
+// StepProgram is a node's algorithm as an explicit resumable state machine:
+// Step executes one round segment and reports whether the node is done. See
+// the contract above.
+type StepProgram interface {
+	Step(env *Env) (done bool)
+}
+
+// StepFactory builds one node's StepProgram. It runs before the first
+// round; construction may read env (ID, Rand, topology) and corresponds to
+// a Program's code before its first Env.Step... which is exactly where the
+// machine's first Step call begins, so factories should only allocate and
+// sample, not send. (Sends staged during construction would still be
+// delivered in round 1, but keeping them in Step keeps the two execution
+// models aligned line for line.)
+type StepFactory func(env *Env) StepProgram
+
+// StepFunc adapts a plain function to the StepProgram interface.
+type StepFunc func(env *Env) bool
+
+// Step implements StepProgram.
+func (f StepFunc) Step(env *Env) bool { return f(env) }
+
+// Chain runs machines produced on demand, one after another: when the
+// current machine finishes, next is called immediately — within the same
+// round segment — to produce its successor, and a nil return finishes the
+// chain. next sees every predecessor's result (via the closure) and may
+// decide data-dependently, which is what the protocols' aggregate-and-
+// continue loops need (e.g. routing's reply drain).
+func Chain(next func(env *Env) StepProgram) StepProgram {
+	return &chain{next: next}
+}
+
+type chain struct {
+	next func(env *Env) StepProgram
+	cur  StepProgram
+	done bool
+}
+
+// Step implements StepProgram.
+func (c *chain) Step(env *Env) bool {
+	if c.done {
+		return true
+	}
+	for {
+		if c.cur == nil {
+			if c.cur = c.next(env); c.cur == nil {
+				c.done = true
+				return true
+			}
+		}
+		if !c.cur.Step(env) {
+			return false
+		}
+		c.cur = nil
+	}
+}
+
+// Sequence chains a fixed list of phases. Each phase is a thunk evaluated
+// lazily when its turn comes — mid-segment, exactly where the goroutine
+// program would call the corresponding collective function — so per-node
+// randomness and sends are consumed in identical order on every engine. A
+// thunk may return nil to skip its phase.
+func Sequence(phases ...func(env *Env) StepProgram) StepProgram {
+	i := 0
+	return Chain(func(env *Env) StepProgram {
+		for i < len(phases) {
+			p := phases[i](env)
+			i++
+			if p != nil {
+				return p
+			}
+		}
+		return nil
+	})
+}
+
+// Finish wraps a zero-round computation as a Sequence/Chain phase: f runs
+// mid-segment when the phase is reached (typically combining the results of
+// the preceding machines) and consumes no rounds.
+func Finish(f func(env *Env)) func(env *Env) StepProgram {
+	return func(env *Env) StepProgram {
+		f(env)
+		return nil
+	}
+}
+
+// Loop is the step form of the canonical collective round pattern
+//
+//	for i := 0; i < rounds; i++ {
+//		send(i)
+//		in := env.Step()
+//		recv(in, i)
+//	}
+//
+// which nearly every phase of the paper's protocols instantiates (floods,
+// paced global sends, tree aggregations). One Step call runs Recv for the
+// round that just ended (skipped before the first round), then Send for the
+// next; the machine finishes — mid-segment, after its last Recv — once Send
+// has run Rounds times. Either callback may be nil. A Loop is single-use.
+type Loop struct {
+	Rounds int
+	Send   func(env *Env, i int)
+	Recv   func(env *Env, in Inbox, i int)
+	i      int
+}
+
+// Step implements StepProgram.
+func (l *Loop) Step(env *Env) bool {
+	if l.i > 0 && l.Recv != nil {
+		l.Recv(env, env.Incoming(), l.i-1)
+	}
+	if l.i >= l.Rounds {
+		return true
+	}
+	if l.Send != nil {
+		l.Send(env, l.i)
+	}
+	l.i++
+	return false
+}
+
+// DriveProgram runs a StepProgram to completion on a goroutine engine by
+// replaying the step engine's install-inbox/step cycle inside the node's
+// Program goroutine. It is how step-native algorithms stay runnable (and
+// differentially testable) on EngineLegacy and EngineSharded.
+func DriveProgram(env *Env, sp StepProgram) {
+	env.curInbox = Inbox{}
+	for !sp.Step(env) {
+		env.curInbox = env.Step()
+	}
+}
+
+// AsProgram converts a StepFactory into a Program for the goroutine
+// engines.
+func AsProgram(factory StepFactory) Program {
+	return func(env *Env) {
+		DriveProgram(env, factory(env))
+	}
+}
+
+// AdaptProgram converts a legacy Program into a StepFactory backed by one
+// goroutine per node: the program keeps its blocking style, parking in
+// Env.Step until the engine loop's next round. This is the compatibility
+// path that keeps un-ported algorithms running on EngineStep — correct and
+// byte-identical, but it reintroduces the wake/park cost the step-native
+// ports avoid.
+func AdaptProgram(program Program) StepFactory {
+	return func(env *Env) StepProgram {
+		return &programAdapter{
+			program: program,
+			resume:  make(chan struct{}, 1),
+			yield:   make(chan bool, 1),
+		}
+	}
+}
+
+// programAdapter runs a blocking Program under the step engine. The
+// protocol strictly alternates (engine resumes, program yields), and both
+// channels are buffered so neither side can block the other during
+// shutdown.
+type programAdapter struct {
+	program Program
+	started bool
+	resume  chan struct{}
+	yield   chan bool // false: round segment done; true: program returned
+}
+
+// Step implements StepProgram: resume the program goroutine (starting it on
+// the first call) and wait until it parks in Env.Step or returns.
+func (a *programAdapter) Step(env *Env) bool {
+	if !a.started {
+		a.started = true
+		env.adapter = a
+		go a.run(env)
+	} else {
+		a.resume <- struct{}{}
+	}
+	return <-a.yield
+}
+
+// run executes the program on its own goroutine, mirroring the goroutine
+// engines' panic handling.
+func (a *programAdapter) run(env *Env) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errAbort { //nolint:errorlint // sentinel identity check
+				env.eng.fail(fmt.Errorf("sim: node %d panicked: %v", env.id, r))
+			}
+		}
+		a.yield <- true
+	}()
+	a.program(env)
+}
+
+// await is the Env.Step implementation for adapted programs: yield the
+// round segment to the engine loop and park until the next round's inbox is
+// installed.
+func (a *programAdapter) await(env *Env) Inbox {
+	if env.eng.aborted.Load() {
+		panic(errAbort)
+	}
+	a.yield <- false
+	<-a.resume
+	if env.eng.aborted.Load() {
+		panic(errAbort)
+	}
+	return env.curInbox
+}
+
+// RunStep executes one StepProgram per node of g under cfg and returns the
+// collected metrics; it is to StepPrograms what Run is to Programs, with
+// the same error contract. Under EngineStep the machines run natively on
+// the goroutine-free loop; under the goroutine engines they run through
+// DriveProgram, so callers can hold one code path and still select any
+// engine.
+func RunStep(g *graph.Graph, cfg Config, factory StepFactory) (Metrics, error) {
+	if cfg.Engine != EngineStep {
+		return Run(g, cfg, AsProgram(factory))
+	}
+	eng, err := newEngine(g, cfg)
+	if eng == nil {
+		return Metrics{}, err
+	}
+	eng.stepMode = true
+	eng.initSharded()
+	defer eng.stopSharded()
+	eng.runStepLoop(factory)
+	return eng.results()
+}
+
+// runStepLoop is the EngineStep main loop: construct the machines, then
+// alternate round segments with sharded delivery until every node is done.
+// Unlike coordinate() there is nothing to wake or park — the loop iterates.
+func (e *engine) runStepLoop(factory StepFactory) {
+	e.progs = make([]StepProgram, e.n)
+	for i, env := range e.envs {
+		e.progs[i] = e.buildProg(factory, env)
+	}
+	active := e.n
+	for {
+		e.stepGeneration()
+		active -= e.deliverSharded()
+		if e.generation >= e.cfg.MaxRounds {
+			e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
+		}
+		if e.aborted.Load() {
+			e.releaseAdapters()
+			return
+		}
+		if active == 0 {
+			return
+		}
+	}
+}
+
+// buildProg constructs one node's machine with the engines' shared panic
+// contract: a panicking factory fails the run and finishes the node.
+func (e *engine) buildProg(factory StepFactory, env *Env) (sp StepProgram) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errAbort { //nolint:errorlint // sentinel identity check
+				e.fail(fmt.Errorf("sim: node %d panicked: %v", env.id, r))
+			}
+			env.finished = true
+		}
+	}()
+	return factory(env)
+}
+
+// stepGeneration advances every unfinished node by one round segment,
+// shard-parallel when the worker pool exists.
+func (e *engine) stepGeneration() {
+	if e.nShards == 1 {
+		e.stepShard(0)
+		return
+	}
+	for k := 0; k < e.nShards; k++ {
+		e.workCh <- shardTask{k: k, step: true}
+	}
+	for k := 0; k < e.nShards; k++ {
+		<-e.resCh
+	}
+}
+
+// stepShard runs one round segment for the nodes of shard k: install each
+// node's inbox for the generation being executed and call its machine.
+// Workers touch disjoint node state, and sends stage into per-sender
+// buckets, so concurrent shards need no locks (the same disjointness
+// argument as runShard).
+func (e *engine) stepShard(k int) {
+	lo := k * e.shardSize
+	hi := lo + e.shardSize
+	if hi > e.n {
+		hi = e.n
+	}
+	gen := e.generation // deliveries completed so far
+	p := gen & 1
+	for v := lo; v < hi; v++ {
+		env := e.envs[v]
+		if env.finished {
+			continue
+		}
+		env.round = gen
+		if gen > 0 {
+			env.curInbox = Inbox{Local: env.inLocalBuf[p], Global: env.inGlobalBuf[p]}
+		} else {
+			env.curInbox = Inbox{}
+		}
+		e.stepNode(env, v)
+	}
+}
+
+// stepNode runs one machine call under the engines' shared panic contract.
+func (e *engine) stepNode(env *Env, v int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != errAbort { //nolint:errorlint // sentinel identity check
+				e.fail(fmt.Errorf("sim: node %d panicked: %v", v, r))
+			}
+			env.finished = true
+		}
+	}()
+	if e.progs[v].Step(env) {
+		env.finished = true
+	}
+}
+
+// releaseAdapters unblocks adapted-program goroutines parked in Env.Step
+// after an abort, so they observe the abort flag and unwind. Native
+// machines hold no goroutines and need no cleanup.
+func (e *engine) releaseAdapters() {
+	for v, sp := range e.progs {
+		a, ok := sp.(*programAdapter)
+		if !ok || !a.started || e.envs[v].finished {
+			continue
+		}
+		a.resume <- struct{}{}
+		<-a.yield
+		e.envs[v].finished = true
+	}
+}

@@ -29,7 +29,7 @@ func LimitedExplore(env *sim.Env, isSource bool, rounds int) ([]int64, []int) {
 		hops[i] = -1
 		pending[i] = -1
 	}
-	var delta []distUpdate
+	var delta distUpdates
 	if isSource {
 		near[env.ID()] = 0
 		hops[env.ID()] = 0
@@ -42,9 +42,9 @@ func LimitedExplore(env *sim.Env, isSource bool, rounds int) ([]int64, []int) {
 		in := env.Step()
 		// next must be a fresh slice every step: the broadcast delta is
 		// shared with the neighbors that are still reading it this round.
-		var next []distUpdate
+		var next distUpdates
 		for _, lm := range in.Local {
-			ups, ok := lm.Payload.([]distUpdate)
+			ups, ok := lm.Payload.(distUpdates)
 			if !ok {
 				continue
 			}
@@ -102,7 +102,7 @@ type floodVec struct {
 // treat received vectors as immutable.
 func FloodVectors(env *sim.Env, mine []int64, radius int) map[int][]int64 {
 	known := map[int][]int64{}
-	var delta []floodVec
+	var delta floodVecs
 	if mine != nil {
 		known[env.ID()] = mine
 		delta = append(delta, floodVec{Origin: env.ID(), TTL: radius, Values: mine})
@@ -112,9 +112,9 @@ func FloodVectors(env *sim.Env, mine []int64, radius int) map[int][]int64 {
 			env.BroadcastLocal(delta)
 		}
 		in := env.Step()
-		var next []floodVec
+		var next floodVecs
 		for _, lm := range in.Local {
-			vecs, ok := lm.Payload.([]floodVec)
+			vecs, ok := lm.Payload.(floodVecs)
 			if !ok {
 				continue
 			}

@@ -1,0 +1,49 @@
+package sssp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// Step-machine forms of the LOCAL-mode baselines (see sim.StepProgram),
+// faithful ports of Local and LocalAll built on the exploration machine.
+// done receives the node's result when the machine finishes.
+
+// NewLocalMachine is the step form of Local: `rounds` rounds of LOCAL-mode
+// Bellman-Ford from the source.
+func NewLocalMachine(env *sim.Env, isSource bool, rounds int, done func(int64)) sim.StepProgram {
+	var explore *skeleton.ExploreMachine
+	return sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			explore = skeleton.NewExploreMachine(env, isSource, rounds)
+			return explore
+		},
+		sim.Finish(func(env *sim.Env) {
+			if isSource {
+				done(0)
+				return
+			}
+			best := graph.Inf
+			for _, d := range explore.Near {
+				if d < best {
+					best = d
+				}
+			}
+			done(best)
+		}),
+	)
+}
+
+// NewLocalAllMachine is the step form of LocalAll: the k-source variant
+// returning the dense per-source estimate vector.
+func NewLocalAllMachine(env *sim.Env, isSource bool, rounds int, done func([]int64)) sim.StepProgram {
+	var explore *skeleton.ExploreMachine
+	return sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			explore = skeleton.NewExploreMachine(env, isSource, rounds)
+			return explore
+		},
+		sim.Finish(func(env *sim.Env) { done(explore.Near) }),
+	)
+}
