@@ -219,11 +219,34 @@ func BenchmarkFacadeDiameter(b *testing.B) {
 	g := hybrid.GridGraph(10, 10)
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		res, err := hybrid.New(g, hybrid.WithSeed(benchSeed)).Diameter(hybrid.DiameterCor52, 0.5)
+		res, err := hybrid.New(g, hybrid.WithSeed(benchSeed)).Diameter(hybrid.DiamCor52(0.5))
 		if err != nil {
 			b.Fatal(err)
 		}
 		rounds = res.Metrics.Rounds
 	}
 	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkFacadeAPSPRepeated measures the repeated-call workload the
+// Network session cache targets: two APSP runs on one Network, the second
+// reusing the cached routing session. The reported metrics are the two
+// round counts; their gap is the setup cost the cache deletes.
+func BenchmarkFacadeAPSPRepeated(b *testing.B) {
+	g := hybrid.GridGraph(10, 10)
+	var first, second int
+	for i := 0; i < b.N; i++ {
+		net := hybrid.New(g, hybrid.WithSeed(benchSeed), hybrid.WithEngine(hybrid.EngineStep))
+		r1, err := net.APSP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := net.APSP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, second = r1.Metrics.Rounds, r2.Metrics.Rounds
+	}
+	b.ReportMetric(float64(first), "rounds-first")
+	b.ReportMetric(float64(second), "rounds-cached")
 }

@@ -32,6 +32,11 @@ func main() {
 	engine := flag.String("engine", "sharded", "round engine: sharded|step|legacy")
 	verify := flag.Bool("verify", true, "check results against sequential ground truth")
 	flag.Parse()
+	if *eps <= 0 {
+		// The spec constructors default ε themselves, but the mm variants
+		// derive η = 1/ε here, so the defaulting must happen first.
+		*eps = 0.5
+	}
 
 	var eng hybrid.Engine
 	switch *engine {
@@ -107,15 +112,17 @@ func main() {
 		for len(sources) < *k {
 			sources = append(sources, rng.Intn(g.N()))
 		}
-		v := map[string]hybrid.KSSPVariant{
-			"cor46": hybrid.VariantCor46, "cor47": hybrid.VariantCor47,
-			"cor48": hybrid.VariantCor48, "mm": hybrid.VariantRealMM,
-		}[*variant]
-		if v == 0 {
+		specs := map[string]hybrid.KSSPSpec{
+			"cor46": hybrid.Cor46(*eps), "cor47": hybrid.Cor47(*eps),
+			"cor48": hybrid.Cor48(*eps), "mm": hybrid.KSSPRealMM(1 / *eps),
+		}
+		spec, ok := specs[*variant]
+		if !ok {
 			fatalf("unknown kssp variant %q", *variant)
 		}
-		res, err := net.KSSP(sources, v, *eps)
+		res, err := net.KSSP(sources, spec)
 		check(err)
+		fmt.Printf("algorithm: %s — %s\n", res.Algorithm, res.Guarantee)
 		if *verify {
 			worst := 1.0
 			for _, s := range sources {
@@ -132,14 +139,16 @@ func main() {
 		}
 		printMetrics(res.Metrics)
 	case "diameter":
-		v := map[string]hybrid.DiameterVariant{
-			"cor52": hybrid.DiameterCor52, "cor53": hybrid.DiameterCor53, "mm": hybrid.DiameterRealMM,
-		}[*variant]
-		if v == 0 {
+		specs := map[string]hybrid.DiameterSpec{
+			"cor52": hybrid.DiamCor52(*eps), "cor53": hybrid.DiamCor53(*eps), "mm": hybrid.DiamRealMM(1 / *eps),
+		}
+		spec, ok := specs[*variant]
+		if !ok {
 			fatalf("unknown diameter variant %q", *variant)
 		}
-		res, err := net.Diameter(v, *eps)
+		res, err := net.Diameter(spec)
 		check(err)
+		fmt.Printf("algorithm: %s — %s\n", res.Algorithm, res.Guarantee)
 		if *verify {
 			d := hybrid.HopDiameter(g)
 			fmt.Printf("diameter %s: estimate %d, true %d, ratio %.3f\n", *variant, res.Estimate, d, float64(res.Estimate)/float64(d))

@@ -1,0 +1,111 @@
+package hybrid
+
+import "fmt"
+
+// This file holds the pre-spec-value enum API, kept as thin shims: every
+// old enum+eps pair maps onto exactly the spec value that replaced it, so
+// a shim call and its spec-value twin produce identical results for a
+// fixed seed (pinned by TestDeprecatedShimsMatchSpecValues). New code
+// should use the spec values (Cor46, DiamCor52, ...) directly — they carry
+// their guarantee strings into the results.
+
+// KSSPVariant selects the CLIQUE algorithm plugged into the Theorem 4.1
+// framework.
+//
+// Deprecated: use the KSSPSpec values (Cor46, Cor47, Cor48, KSSPRealMM).
+type KSSPVariant int
+
+// The k-SSP variants of Theorem 1.2 plus the real-message instantiations.
+//
+// Deprecated: use the KSSPSpec values (Cor46, Cor47, Cor48, KSSPRealMM).
+const (
+	// VariantCor46 is Corollary 4.6; use Cor46(eps) instead.
+	VariantCor46 KSSPVariant = iota + 1
+	// VariantCor47 is Corollary 4.7; use Cor47(eps) instead.
+	VariantCor47
+	// VariantCor48 is Corollary 4.8; use Cor48(eps) instead.
+	VariantCor48
+	// VariantRealMM is the real-message semiring MM; use KSSPRealMM(eta)
+	// instead.
+	VariantRealMM
+)
+
+// spec maps the enum onto its spec value, reproducing the old eps
+// defaulting (eps <= 0 meant 0.5, and RealMM derived η = 1/ε).
+func (v KSSPVariant) spec(eps float64) (KSSPSpec, error) {
+	eps = defaultEps(eps)
+	switch v {
+	case VariantCor46:
+		return Cor46(eps), nil
+	case VariantCor47:
+		return Cor47(eps), nil
+	case VariantCor48:
+		return Cor48(eps), nil
+	case VariantRealMM:
+		return KSSPRealMM(1 / eps), nil
+	default:
+		return KSSPSpec{}, fmt.Errorf("hybrid: unknown k-SSP variant %d", v)
+	}
+}
+
+// KSSPByVariant solves k-SSP selecting the algorithm by the old enum+eps
+// pair.
+//
+// Deprecated: use KSSP with a spec value, e.g.
+// net.KSSP(sources, hybrid.Cor46(eps)).
+func (nw *Network) KSSPByVariant(sources []int, variant KSSPVariant, eps float64) (*KSSPResult, error) {
+	spec, err := variant.spec(eps)
+	if err != nil {
+		return nil, err
+	}
+	return nw.KSSP(sources, spec)
+}
+
+// DiameterVariant selects the CLIQUE diameter algorithm of Theorem 1.4.
+//
+// Deprecated: use the DiameterSpec values (DiamCor52, DiamCor53,
+// DiamRealMM).
+type DiameterVariant int
+
+// The diameter variants.
+//
+// Deprecated: use the DiameterSpec values (DiamCor52, DiamCor53,
+// DiamRealMM).
+const (
+	// DiameterCor52 is Corollary 5.2; use DiamCor52(eps) instead.
+	DiameterCor52 DiameterVariant = iota + 1
+	// DiameterCor53 is Corollary 5.3; use DiamCor53(eps) instead.
+	DiameterCor53
+	// DiameterRealMM is the real-message exact skeleton diameter; use
+	// DiamRealMM(eta) instead.
+	DiameterRealMM
+)
+
+// spec maps the enum onto its spec value, reproducing the old eps
+// defaulting.
+func (v DiameterVariant) spec(eps float64) (DiameterSpec, error) {
+	eps = defaultEps(eps)
+	switch v {
+	case DiameterCor52:
+		return DiamCor52(eps), nil
+	case DiameterCor53:
+		return DiamCor53(eps), nil
+	case DiameterRealMM:
+		return DiamRealMM(1 / eps), nil
+	default:
+		return DiameterSpec{}, fmt.Errorf("hybrid: unknown diameter variant %d", v)
+	}
+}
+
+// DiameterByVariant estimates the diameter selecting the algorithm by the
+// old enum+eps pair.
+//
+// Deprecated: use Diameter with a spec value, e.g.
+// net.Diameter(hybrid.DiamCor52(eps)).
+func (nw *Network) DiameterByVariant(variant DiameterVariant, eps float64) (*DiameterResult, error) {
+	spec, err := variant.spec(eps)
+	if err != nil {
+		return nil, err
+	}
+	return nw.Diameter(spec)
+}

@@ -109,12 +109,12 @@ func TestEnginesAgreeDiameter(t *testing.T) {
 		if name == "weighted-grid" {
 			continue // Diameter is defined on unweighted graphs.
 		}
-		oracle, err := engineNet(g, 303, hybrid.EngineLegacy).Diameter(hybrid.DiameterCor52, 0.5)
+		oracle, err := engineNet(g, 303, hybrid.EngineLegacy).Diameter(hybrid.DiamCor52(0.5))
 		if err != nil {
 			t.Fatalf("%s legacy: %v", name, err)
 		}
 		for _, eng := range allEngines[1:] {
-			res, err := engineNet(g, 303, eng).Diameter(hybrid.DiameterCor52, 0.5)
+			res, err := engineNet(g, 303, eng).Diameter(hybrid.DiamCor52(0.5))
 			if err != nil {
 				t.Fatalf("%s %s: %v", name, eng, err)
 			}
@@ -131,12 +131,12 @@ func TestEnginesAgreeDiameter(t *testing.T) {
 func TestEnginesAgreeKSSP(t *testing.T) {
 	g := hybrid.GridGraph(6, 6)
 	sources := []int{0, 17, 35}
-	oracle, err := engineNet(g, 404, hybrid.EngineLegacy).KSSP(sources, hybrid.VariantCor47, 0.5)
+	oracle, err := engineNet(g, 404, hybrid.EngineLegacy).KSSP(sources, hybrid.Cor47(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, eng := range allEngines[1:] {
-		res, err := engineNet(g, 404, eng).KSSP(sources, hybrid.VariantCor47, 0.5)
+		res, err := engineNet(g, 404, eng).KSSP(sources, hybrid.Cor47(0.5))
 		if err != nil {
 			t.Fatalf("%s: %v", eng, err)
 		}
@@ -181,6 +181,53 @@ func TestEnginesAgreeTokenRouting(t *testing.T) {
 		}
 		if oracleM != m {
 			t.Errorf("routing metrics differ: legacy %+v %s %+v", oracleM, eng, m)
+		}
+	}
+}
+
+// TestEnginesAgreeKSSPRealMM covers the real-message CLIQUE simulation
+// path at facade level: every simulated round routes actual tokens through
+// a RouteMachine on EngineStep, and all engines must stay byte-identical.
+func TestEnginesAgreeKSSPRealMM(t *testing.T) {
+	g := hybrid.GridGraph(5, 5)
+	sources := []int{0, 24}
+	oracle, err := engineNet(g, 606, hybrid.EngineLegacy).KSSP(sources, hybrid.KSSPRealMM(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range allEngines[1:] {
+		res, err := engineNet(g, 606, eng).KSSP(sources, hybrid.KSSPRealMM(2))
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if !reflect.DeepEqual(oracle.Dist, res.Dist) {
+			t.Errorf("RealMM KSSP estimates differ between legacy and %s", eng)
+		}
+		if oracle.Metrics != res.Metrics {
+			t.Errorf("RealMM KSSP metrics differ: legacy %+v %s %+v", oracle.Metrics, eng, res.Metrics)
+		}
+	}
+}
+
+// TestEnginesAgreeWeightedDiameterApprox covers the weighted footnote-6
+// pipeline (SSSP + eccentricity doubling) across the engine matrix.
+func TestEnginesAgreeWeightedDiameterApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := hybrid.WithRandomWeights(hybrid.GridGraph(5, 5), 6, rng)
+	oracle, err := engineNet(g, 808, hybrid.EngineLegacy).WeightedDiameterApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range allEngines[1:] {
+		res, err := engineNet(g, 808, eng).WeightedDiameterApprox()
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if oracle.Estimate != res.Estimate {
+			t.Errorf("weighted diameter estimates differ: %d vs %d (%s)", oracle.Estimate, res.Estimate, eng)
+		}
+		if oracle.Metrics != res.Metrics {
+			t.Errorf("weighted diameter metrics differ between legacy and %s", eng)
 		}
 	}
 }

@@ -58,7 +58,7 @@ func ExampleNetwork_SSSP() {
 func ExampleNetwork_Diameter() {
 	g := hybrid.GridGraph(5, 5)
 	net := hybrid.New(g, hybrid.WithSeed(3))
-	res, err := net.Diameter(hybrid.DiameterCor52, 0.5)
+	res, err := net.Diameter(hybrid.DiamCor52(0.5))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func ExampleNetwork_KSSP() {
 	g := hybrid.GridGraph(6, 6)
 	net := hybrid.New(g, hybrid.WithSeed(4))
 	sources := []int{0, 35}
-	res, err := net.KSSP(sources, hybrid.VariantCor46, 0.5)
+	res, err := net.KSSP(sources, hybrid.Cor46(0.5))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,15 +41,14 @@ func main() {
 	fmt.Printf("fabric: %d servers in 12 racks, hop diameter %d\n", g.N(), d)
 
 	for _, v := range []struct {
-		name    string
-		variant hybrid.DiameterVariant
-		eps     float64
+		name string
+		spec hybrid.DiameterSpec
 	}{
-		{"(3/2+eps) estimator (Cor 5.2)", hybrid.DiameterCor52, 0.25},
-		{"(1+eps) estimator   (Cor 5.3)", hybrid.DiameterCor53, 0.25},
+		{"(3/2+eps) estimator (Cor 5.2)", hybrid.DiamCor52(0.25)},
+		{"(1+eps) estimator   (Cor 5.3)", hybrid.DiamCor53(0.25)},
 	} {
 		net := hybrid.New(g, hybrid.WithSeed(11))
-		res, err := net.Diameter(v.variant, v.eps)
+		res, err := net.Diameter(v.spec)
 		if err != nil {
 			log.Fatal(err)
 		}

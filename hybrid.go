@@ -10,12 +10,12 @@
 // package runs real message-passing node programs under a synchronous
 // round barrier and reports the paper's cost measures: rounds, global
 // messages, per-round load. Three interchangeable round engines execute
-// the programs (WithEngine): the sharded worker-pool engine (default), the
-// goroutine-free step engine that runs each node as a resumable state
-// machine (fastest on large inputs), and the legacy goroutine-per-node
-// engine, kept as a differential-testing oracle — all three produce
-// byte-identical results and Metrics for a fixed seed. ARCHITECTURE.md
-// documents the engine designs and when to pick which.
+// the programs (WithEngine); every algorithm is exported as a pipeline
+// implementing both execution forms (see sim.Pipeline), so all of them run
+// step-native on the goroutine-free step engine — all three engines
+// produce byte-identical results and Metrics for a fixed seed.
+// ARCHITECTURE.md documents the engine designs, the pipeline contract, and
+// when to pick which engine.
 //
 // Results implemented (all exact/approximation guarantees are verified by
 // the test suite against sequential ground truth):
@@ -24,10 +24,11 @@
 //   - The O~(n^(2/3)) APSP of Augustine et al. it improves on —
 //     Network.APSPBaseline.
 //   - Theorem 2.2: the token routing protocol — Network.TokenRouting.
-//   - Theorem 1.2 / Corollaries 4.6-4.8: approximate k-SSP — Network.KSSP.
+//   - Theorem 1.2 / Corollaries 4.6-4.8: approximate k-SSP —
+//     Network.KSSP with the Cor46/Cor47/Cor48/KSSPRealMM spec values.
 //   - Theorem 1.3 / Corollary 4.9: exact SSSP in O~(n^(2/5)) — Network.SSSP.
 //   - Theorem 1.4 / Corollaries 5.2-5.3: diameter approximation —
-//     Network.Diameter.
+//     Network.Diameter with the DiamCor52/DiamCor53/DiamRealMM spec values.
 //   - Theorems 1.5-1.6: the lower-bound constructions (Figures 1-2) with
 //     machine-checked dichotomy lemmas — see internal/lowerbound and the
 //     examples/lowerbound program.
@@ -38,10 +39,18 @@
 //	net := hybrid.New(g, hybrid.WithSeed(1))
 //	res, err := net.APSP()
 //	// res.Dist[u][v] is the exact distance; res.Metrics.Rounds the cost.
+//
+// A Network also holds a per-instance run context: routing sessions
+// (helper families, hash) are cached across calls keyed by their instance
+// parameters, so repeated runs on one Network — sweeps, re-queries,
+// multi-phase workloads — skip most of the routing setup rounds. Runs on
+// one Network must be sequential (they share the cache).
 package hybrid
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/clique"
 	"repro/internal/diameter"
@@ -71,17 +80,21 @@ const (
 	// EngineStep is the goroutine-free engine (sim v3): each node runs as
 	// an explicit resumable state machine and the round loop itself is the
 	// barrier, removing the scheduler wake/park cost that dominates large
-	// runs. APSP (all variants) and TokenRouting run step-native machines
-	// on it; the remaining algorithms run through a goroutine-backed
-	// adapter, still byte-identical, at roughly EngineSharded speed. See
-	// ARCHITECTURE.md for the design and measured numbers.
+	// runs. Every facade algorithm runs step-native machines on it (the
+	// pipeline contract requires both execution forms), making it the
+	// fastest engine on large inputs. See ARCHITECTURE.md for the design
+	// and measured numbers.
 	EngineStep = sim.EngineStep
 )
 
-// Network wraps a local communication graph with run configuration.
+// Network wraps a local communication graph with run configuration and the
+// per-instance run context (the routing session cache). Runs on one
+// Network must be sequential; create separate Networks for concurrent
+// workloads.
 type Network struct {
-	g   *graph.Graph
-	cfg sim.Config
+	g        *graph.Graph
+	cfg      sim.Config
+	sessions *routing.SessionCache
 }
 
 // Option configures a Network.
@@ -117,11 +130,31 @@ func WithCut(cut []bool) Option {
 	return func(nw *Network) { nw.cfg.Cut = append([]bool(nil), cut...) }
 }
 
+// WithContext attaches a cancellation context to the network's runs: every
+// engine checks it at each round boundary and aborts cooperatively, so a
+// cancelled run returns promptly with an error for which
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) holds.
+func WithContext(ctx context.Context) Option {
+	return func(nw *Network) { nw.cfg.Ctx = ctx }
+}
+
+// WithProgress registers a per-round progress hook: fn is invoked once per
+// completed round barrier with the number of rounds completed so far, on
+// every engine. It runs on the engine's coordinator, so it must be fast
+// and must not call back into the network. The final generation that
+// retires the last nodes also ticks, so the last value may exceed the
+// result's Metrics.Rounds by one (don't treat Metrics.Rounds as the
+// hook's ceiling), and the hook may still fire for the round in which a
+// run failed or was cancelled.
+func WithProgress(fn func(round int)) Option {
+	return func(nw *Network) { nw.cfg.OnRound = fn }
+}
+
 // New creates a Network over g. The graph must be connected for the
 // paper's algorithms to have their guarantees; New does not copy g, and g
 // must not be mutated during runs.
 func New(g *graph.Graph, opts ...Option) *Network {
-	nw := &Network{g: g}
+	nw := &Network{g: g, sessions: routing.NewSessionCache()}
 	for _, o := range opts {
 		o(nw)
 	}
@@ -130,6 +163,22 @@ func New(g *graph.Graph, opts ...Option) *Network {
 
 // N returns the number of nodes.
 func (nw *Network) N() int { return nw.g.N() }
+
+// run executes one algorithm pipeline under the network's configuration,
+// dispatching on the engine: step-native machines on EngineStep, the
+// blocking closures on the goroutine engines. It is the single execution
+// path behind every facade entry point. (A package-level function because
+// Go methods cannot be generic.)
+func run[T any](nw *Network, p sim.Pipeline[T]) ([]T, Metrics, error) {
+	return sim.RunPipeline(nw.g, nw.cfg, p)
+}
+
+// routingParams is the routing configuration every facade run shares: the
+// network's session cache, so repeated calls reuse helper families and
+// hashes whenever the instance parameters and memberships recur.
+func (nw *Network) routingParams() routing.Params {
+	return routing.Params{Cache: nw.sessions}
+}
 
 // APSPResult holds a full distance matrix and the run's cost.
 type APSPResult struct {
@@ -141,114 +190,162 @@ type APSPResult struct {
 // APSP solves all-pairs shortest paths exactly in O~(sqrt n) rounds
 // (Theorem 1.1).
 func (nw *Network) APSP() (*APSPResult, error) {
-	return nw.runAPSP(
-		func(env *sim.Env) []int64 {
-			return hybridapsp.Compute(env, hybridapsp.Params{})
-		},
-		func(env *sim.Env, done func([]int64)) sim.StepProgram {
-			return hybridapsp.NewComputeMachine(env, hybridapsp.Params{}, done)
-		})
+	return nw.apsp(hybridapsp.Pipeline(nw.apspParams()))
 }
 
 // APSPBaseline solves APSP exactly with the O~(n^(2/3)) algorithm of
 // Augustine et al. (SODA '20) that Theorem 1.1 improves on.
 func (nw *Network) APSPBaseline() (*APSPResult, error) {
-	return nw.runAPSP(
-		func(env *sim.Env) []int64 {
-			return hybridapsp.BaselineCompute(env, hybridapsp.Params{})
-		},
-		func(env *sim.Env, done func([]int64)) sim.StepProgram {
-			return hybridapsp.NewBaselineComputeMachine(env, hybridapsp.Params{}, done)
-		})
+	return nw.apsp(hybridapsp.BaselinePipeline(nw.apspParams()))
 }
 
 // APSPLocalOnly solves APSP using only the local mode, flooding for the
 // given number of rounds (exact iff rounds >= hop diameter) — the Θ(D)
 // LOCAL baseline of the paper's §1.
 func (nw *Network) APSPLocalOnly(rounds int) (*APSPResult, error) {
-	return nw.runAPSP(
-		func(env *sim.Env) []int64 {
-			return hybridapsp.LocalCompute(env, rounds)
-		},
-		func(env *sim.Env, done func([]int64)) sim.StepProgram {
-			return hybridapsp.NewLocalComputeMachine(env, rounds, done)
-		})
+	return nw.apsp(hybridapsp.LocalPipeline(rounds))
 }
 
-// runAPSP executes an APSP variant: the goroutine form on the goroutine
-// engines, the step-machine form on EngineStep. Both forms are
-// byte-identical for a fixed seed (the differential tests hold the
-// goroutine form as the oracle).
-func (nw *Network) runAPSP(f func(*sim.Env) []int64,
-	mf func(*sim.Env, func([]int64)) sim.StepProgram) (*APSPResult, error) {
-	out := make([][]int64, nw.g.N())
-	var m Metrics
-	var err error
-	if nw.cfg.Engine == EngineStep {
-		m, err = sim.RunStep(nw.g, nw.cfg, func(env *sim.Env) sim.StepProgram {
-			id := env.ID()
-			return mf(env, func(res []int64) { out[id] = res })
-		})
-	} else {
-		m, err = sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
-			out[env.ID()] = f(env)
-		})
-	}
+func (nw *Network) apspParams() hybridapsp.Params {
+	return hybridapsp.Params{Routing: nw.routingParams()}
+}
+
+func (nw *Network) apsp(p sim.Pipeline[[]int64]) (*APSPResult, error) {
+	out, m, err := run(nw, p)
 	if err != nil {
 		return nil, err
 	}
 	return &APSPResult{Dist: out, Metrics: m}, nil
 }
 
-// KSSPVariant selects the CLIQUE algorithm plugged into the Theorem 4.1
-// framework.
-type KSSPVariant int
+// KSSPSpec is a self-describing k-SSP algorithm selection: one of the
+// Theorem 1.2 instantiations, carrying its name and guarantee into the
+// result. Construct one with Cor46, Cor47, Cor48 or KSSPRealMM; the zero
+// value is invalid.
+type KSSPSpec struct {
+	name      string
+	guarantee string
+	alg       kssp.AlgSpec
+	valid     bool
+}
 
-// The k-SSP variants of Theorem 1.2 plus the real-message instantiations.
-const (
-	// VariantCor46 is Corollary 4.6: (3+ε) weighted / (1+ε) unweighted in
-	// O~(n^(1/3)/ε) for up to n^(1/3) sources (declared-cost oracle).
-	VariantCor46 KSSPVariant = iota + 1
-	// VariantCor47 is Corollary 4.7: (7+ε) weighted / (2+ε) unweighted in
-	// O~(n^(1/3)/ε + sqrt k) for arbitrary k (declared-cost oracle).
-	VariantCor47
-	// VariantCor48 is Corollary 4.8: (3+o(1)) weighted in O~(n^0.397+sqrt k)
-	// (declared-cost oracle at δ = ρ).
-	VariantCor48
-	// VariantRealMM runs the semiring matrix-multiplication APSP with real
-	// messages (δ = 1/3, exact on the skeleton): factor 3 weighted.
-	VariantRealMM
-)
+// Name identifies the instantiation (e.g. "Cor4.6(ε=0.5)").
+func (s KSSPSpec) Name() string { return s.name }
 
-// KSSPResult holds per-node estimated distances to each source.
+// Guarantee states the approximation and round guarantee the spec carries.
+func (s KSSPSpec) Guarantee() string { return s.guarantee }
+
+func defaultEps(eps float64) float64 {
+	if eps <= 0 {
+		return 0.5
+	}
+	return eps
+}
+
+// Cor46 is Corollary 4.6: (3+ε) weighted / (1+ε) unweighted approximation
+// in O~(n^(1/3)/ε) rounds for up to n^(1/3) sources (declared-cost
+// oracle). eps <= 0 defaults to 0.5.
+func Cor46(eps float64) KSSPSpec {
+	eps = defaultEps(eps)
+	return KSSPSpec{
+		name:      fmt.Sprintf("Cor4.6(ε=%g)", eps),
+		guarantee: fmt.Sprintf("(3+ε) weighted / (1+ε) unweighted, O~(n^(1/3)/ε) rounds, k <= n^(1/3) sources, ε=%g", eps),
+		alg:       kssp.Corollary46(eps, 0),
+		valid:     true,
+	}
+}
+
+// Cor47 is Corollary 4.7: (7+ε) weighted / (2+ε) unweighted approximation
+// in O~(n^(1/3)/ε + sqrt k) rounds for arbitrary k (declared-cost oracle).
+// eps <= 0 defaults to 0.5.
+func Cor47(eps float64) KSSPSpec {
+	eps = defaultEps(eps)
+	return KSSPSpec{
+		name:      fmt.Sprintf("Cor4.7(ε=%g)", eps),
+		guarantee: fmt.Sprintf("(7+ε) weighted / (2+ε) unweighted, O~(n^(1/3)/ε + sqrt k) rounds, arbitrary k, ε=%g", eps),
+		alg:       kssp.Corollary47(eps, 0),
+		valid:     true,
+	}
+}
+
+// Cor48 is Corollary 4.8: (3+o(1)) weighted / (1+ε) unweighted
+// approximation in O~(n^0.397 + sqrt k) rounds (declared-cost oracle at
+// δ = ρ). eps <= 0 defaults to 0.5.
+func Cor48(eps float64) KSSPSpec {
+	eps = defaultEps(eps)
+	return KSSPSpec{
+		name:      fmt.Sprintf("Cor4.8(ε=%g)", eps),
+		guarantee: fmt.Sprintf("(3+o(1)) weighted / (1+ε) unweighted, O~(n^0.397 + sqrt k) rounds, ε=%g", eps),
+		alg:       kssp.Corollary48(eps, 0),
+		valid:     true,
+	}
+}
+
+// KSSPRealMM runs the semiring matrix-multiplication APSP with real
+// messages (δ = 1/3, exact on the skeleton): factor 3 weighted / (1+2/η)
+// unweighted. eta outside (0, +Inf) defaults to 2.
+func KSSPRealMM(eta float64) KSSPSpec {
+	if !(eta > 0) || math.IsInf(eta, 1) {
+		eta = 2
+	}
+	return KSSPSpec{
+		name:      fmt.Sprintf("RealMM(η=%g)", eta),
+		guarantee: fmt.Sprintf("factor 3 weighted / (1+2/η) unweighted via real-message semiring MM (δ=1/3), η=%g", eta),
+		alg:       kssp.RealMM(eta),
+		valid:     true,
+	}
+}
+
+// KSSPResult holds per-node estimated distances to each source, tagged
+// with the spec that produced them.
 type KSSPResult struct {
 	// Dist[v][source] is node v's estimate d~(v, source).
 	Dist    []map[int]int64
 	Sources []int
-	Metrics Metrics
+	// Algorithm and Guarantee identify the spec value the run used.
+	Algorithm string
+	Guarantee string
+	Metrics   Metrics
 }
 
 // KSSP solves the k-source shortest paths problem approximately
-// (Theorem 1.2). eps tunes the (1+ε)-style knobs; guarantee depends on the
-// variant (see the constants).
-func (nw *Network) KSSP(sources []int, variant KSSPVariant, eps float64) (*KSSPResult, error) {
-	if eps <= 0 {
-		eps = 0.5
+// (Theorem 1.2) with the chosen spec value, e.g.
+// net.KSSP(sources, hybrid.Cor46(0.25)).
+func (nw *Network) KSSP(sources []int, spec KSSPSpec) (*KSSPResult, error) {
+	if !spec.valid {
+		return nil, fmt.Errorf("hybrid: invalid k-SSP spec (use Cor46, Cor47, Cor48 or KSSPRealMM)")
 	}
-	var spec kssp.AlgSpec
-	switch variant {
-	case VariantCor46:
-		spec = kssp.Corollary46(eps, 0)
-	case VariantCor47:
-		spec = kssp.Corollary47(eps, 0)
-	case VariantCor48:
-		spec = kssp.Corollary48(eps, 0)
-	case VariantRealMM:
-		spec = kssp.RealMM(1 / eps)
-	default:
-		return nil, fmt.Errorf("hybrid: unknown k-SSP variant %d", variant)
+	n := nw.g.N()
+	isSource := make([]bool, n)
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("hybrid: source %d out of range", s)
+		}
+		isSource[s] = true
 	}
-	return nw.runKSSP(sources, spec)
+	out, m, err := run(nw, kssp.Pipeline(isSource, len(sources), spec.alg, nw.ksspParams()))
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]map[int]int64, n)
+	for v, res := range out {
+		mp := make(map[int]int64, len(res))
+		for _, sd := range res {
+			mp[sd.Source] = sd.Dist
+		}
+		dist[v] = mp
+	}
+	return &KSSPResult{
+		Dist:      dist,
+		Sources:   append([]int(nil), sources...),
+		Algorithm: spec.name,
+		Guarantee: spec.guarantee,
+		Metrics:   m,
+	}, nil
+}
+
+func (nw *Network) ksspParams() kssp.Params {
+	return kssp.Params{Routing: nw.routingParams()}
 }
 
 // SSSPResult holds per-node exact distances to the single source.
@@ -261,96 +358,111 @@ type SSSPResult struct {
 // SSSP solves single-source shortest paths exactly in O~(n^(2/5)) rounds
 // (Theorem 1.3 / Corollary 4.9).
 func (nw *Network) SSSP(source int) (*SSSPResult, error) {
-	if source < 0 || source >= nw.g.N() {
+	n := nw.g.N()
+	if source < 0 || source >= n {
 		return nil, fmt.Errorf("hybrid: source %d out of range", source)
 	}
-	res, err := nw.runKSSP([]int{source}, kssp.Corollary49())
-	if err != nil {
-		return nil, err
-	}
-	dist := make([]int64, nw.g.N())
-	for v := range dist {
-		dist[v] = res.Dist[v][source]
-	}
-	return &SSSPResult{Source: source, Dist: dist, Metrics: res.Metrics}, nil
-}
-
-func (nw *Network) runKSSP(sources []int, spec kssp.AlgSpec) (*KSSPResult, error) {
-	n := nw.g.N()
 	isSource := make([]bool, n)
-	for _, s := range sources {
-		if s < 0 || s >= n {
-			return nil, fmt.Errorf("hybrid: source %d out of range", s)
-		}
-		isSource[s] = true
-	}
-	out := make([]map[int]int64, n)
-	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
-		res := kssp.Compute(env, isSource[env.ID()], len(sources), spec, kssp.Params{})
-		mp := make(map[int]int64, len(res))
-		for _, sd := range res {
-			mp[sd.Source] = sd.Dist
-		}
-		out[env.ID()] = mp
-	})
+	isSource[source] = true
+	out, m, err := run(nw, kssp.Pipeline(isSource, 1, kssp.Corollary49(), nw.ksspParams()))
 	if err != nil {
 		return nil, err
 	}
-	return &KSSPResult{Dist: out, Sources: append([]int(nil), sources...), Metrics: m}, nil
+	dist := make([]int64, n)
+	for v, res := range out {
+		for _, sd := range res {
+			if sd.Source == source {
+				dist[v] = sd.Dist
+			}
+		}
+	}
+	return &SSSPResult{Source: source, Dist: dist, Metrics: m}, nil
 }
 
-// DiameterVariant selects the CLIQUE diameter algorithm of Theorem 1.4.
-type DiameterVariant int
+// DiameterSpec is a self-describing diameter algorithm selection
+// (Theorem 1.4), carrying its name and guarantee into the result.
+// Construct one with DiamCor52, DiamCor53 or DiamRealMM; the zero value is
+// invalid.
+type DiameterSpec struct {
+	name      string
+	guarantee string
+	alg       diameter.AlgSpec
+	valid     bool
+}
 
-// The diameter variants.
-const (
-	// DiameterCor52 is Corollary 5.2: (3/2+ε)-approximation in
-	// O~(n^(1/3)/ε) (declared-cost oracle).
-	DiameterCor52 DiameterVariant = iota + 1
-	// DiameterCor53 is Corollary 5.3: (1+ε)-approximation in O~(n^0.397/ε)
-	// (declared-cost oracle at δ = ρ).
-	DiameterCor53
-	// DiameterRealMM computes the exact skeleton diameter with real
-	// messages (δ = 1/3): a (1+2/η)-approximation end to end.
-	DiameterRealMM
-)
+// Name identifies the instantiation (e.g. "Cor5.2(ε=0.5)").
+func (s DiameterSpec) Name() string { return s.name }
 
-// DiameterResult holds the estimate every node agreed on.
+// Guarantee states the approximation and round guarantee the spec carries.
+func (s DiameterSpec) Guarantee() string { return s.guarantee }
+
+// DiamCor52 is Corollary 5.2: a (3/2+ε)-approximation (plus the 2/η
+// exploration slack of Theorem 5.1) in O~(n^(1/3)/ε) rounds
+// (declared-cost oracle). eps <= 0 defaults to 0.5.
+func DiamCor52(eps float64) DiameterSpec {
+	eps = defaultEps(eps)
+	return DiameterSpec{
+		name:      fmt.Sprintf("Cor5.2(ε=%g)", eps),
+		guarantee: fmt.Sprintf("D <= D~ <= (3/2+ε+2/η)·D, O~(n^(1/3)/ε) rounds, ε=%g", eps),
+		alg:       diameter.Corollary52(eps, 0),
+		valid:     true,
+	}
+}
+
+// DiamCor53 is Corollary 5.3: a (1+ε)-approximation in O~(n^0.397/ε)
+// rounds (declared-cost oracle at δ = ρ). eps <= 0 defaults to 0.5.
+func DiamCor53(eps float64) DiameterSpec {
+	eps = defaultEps(eps)
+	return DiameterSpec{
+		name:      fmt.Sprintf("Cor5.3(ε=%g)", eps),
+		guarantee: fmt.Sprintf("D <= D~ <= (1+ε+2/η)·D, O~(n^0.397/ε) rounds, ε=%g", eps),
+		alg:       diameter.Corollary53(eps, 0),
+		valid:     true,
+	}
+}
+
+// DiamRealMM computes the exact skeleton diameter with real messages
+// (δ = 1/3): a (1+2/η)-approximation end to end. eta outside (0, +Inf)
+// defaults to 2.
+func DiamRealMM(eta float64) DiameterSpec {
+	if !(eta > 0) || math.IsInf(eta, 1) {
+		eta = 2
+	}
+	return DiameterSpec{
+		name:      fmt.Sprintf("RealMM(η=%g)", eta),
+		guarantee: fmt.Sprintf("D <= D~ <= (1+2/η)·D via exact skeleton diameter (real messages, δ=1/3), η=%g", eta),
+		alg:       diameter.RealMM(eta),
+		valid:     true,
+	}
+}
+
+// DiameterResult holds the estimate every node agreed on, tagged with the
+// spec that produced it.
 type DiameterResult struct {
 	Estimate int64
-	Metrics  Metrics
+	// Algorithm and Guarantee identify the spec value the run used.
+	Algorithm string
+	Guarantee string
+	Metrics   Metrics
 }
 
 // Diameter estimates the hop diameter D(G) (Theorem 1.4) on unweighted
-// graphs: D <= Estimate <= (α+ε')·D per the chosen variant.
-func (nw *Network) Diameter(variant DiameterVariant, eps float64) (*DiameterResult, error) {
-	if eps <= 0 {
-		eps = 0.5
+// graphs with the chosen spec value, e.g.
+// net.Diameter(hybrid.DiamCor52(0.25)): D <= Estimate per the spec's
+// guarantee.
+func (nw *Network) Diameter(spec DiameterSpec) (*DiameterResult, error) {
+	if !spec.valid {
+		return nil, fmt.Errorf("hybrid: invalid diameter spec (use DiamCor52, DiamCor53 or DiamRealMM)")
 	}
-	var spec diameter.AlgSpec
-	switch variant {
-	case DiameterCor52:
-		spec = diameter.Corollary52(eps, 0)
-	case DiameterCor53:
-		spec = diameter.Corollary53(eps, 0)
-	case DiameterRealMM:
-		spec = diameter.RealMM(1 / eps)
-	default:
-		return nil, fmt.Errorf("hybrid: unknown diameter variant %d", variant)
-	}
-	out := make([]int64, nw.g.N())
-	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
-		out[env.ID()] = diameter.Compute(env, spec, diameter.Params{})
-	})
+	out, m, err := run(nw, diameter.Pipeline(spec.alg, diameter.Params{Routing: nw.routingParams()}))
 	if err != nil {
 		return nil, err
 	}
-	for v := 1; v < len(out); v++ {
-		if out[v] != out[0] {
-			return nil, fmt.Errorf("hybrid: nodes disagree on diameter estimate (%d vs %d)", out[v], out[0])
-		}
+	est, err := uniformEstimate(out, "diameter")
+	if err != nil {
+		return nil, err
 	}
-	return &DiameterResult{Estimate: out[0], Metrics: m}, nil
+	return &DiameterResult{Estimate: est, Algorithm: spec.name, Guarantee: spec.guarantee, Metrics: m}, nil
 }
 
 // WeightedDiameterApprox computes a factor-2 approximation of the WEIGHTED
@@ -358,19 +470,36 @@ func (nw *Network) Diameter(variant DiameterVariant, eps float64) (*DiameterResu
 // the O~(n^(1/3))-class upper bound the paper notes in §1.1 (footnote 6).
 // D_w <= Estimate <= 2·D_w.
 func (nw *Network) WeightedDiameterApprox() (*DiameterResult, error) {
-	out := make([]int64, nw.g.N())
-	m, err := sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
-		out[env.ID()] = diameter.WeightedApprox(env, kssp.Corollary49(), kssp.Params{})
-	})
+	out, m, err := run(nw, diameter.WeightedApproxPipeline(kssp.Corollary49(), nw.ksspParams()))
 	if err != nil {
 		return nil, err
 	}
+	est, err := uniformEstimate(out, "weighted diameter")
+	if err != nil {
+		return nil, err
+	}
+	return &DiameterResult{
+		Estimate:  est,
+		Algorithm: "WeightedApprox",
+		Guarantee: "D_w <= D~ <= 2·D_w via exact SSSP eccentricity doubling",
+		Metrics:   m,
+	}, nil
+}
+
+// uniformEstimate returns the estimate every node agreed on, or an error
+// naming the first disagreeing node. The paper's protocols end with a
+// globally announced value, so a disagreement means a w.h.p. event failed
+// — surfacing it beats silently picking node 0's answer.
+func uniformEstimate(out []int64, what string) (int64, error) {
 	for v := 1; v < len(out); v++ {
 		if out[v] != out[0] {
-			return nil, fmt.Errorf("hybrid: nodes disagree on weighted diameter estimate")
+			return 0, fmt.Errorf("hybrid: nodes disagree on %s estimate (node %d: %d vs node 0: %d)", what, v, out[v], out[0])
 		}
 	}
-	return &DiameterResult{Estimate: out[0], Metrics: m}, nil
+	if len(out) == 0 {
+		return 0, nil
+	}
+	return out[0], nil
 }
 
 // RoutingSpec is one node's view of a token routing instance
@@ -387,6 +516,8 @@ type RoutingLabel = routing.Label
 
 // TokenRouting exposes Theorem 2.2 directly: route the given tokens
 // (specs[v] is node v's view) and return each node's received tokens.
+// Sessions are cached on the Network, so repeated instances with the same
+// parameters and memberships skip the helper-family setup.
 func (nw *Network) TokenRouting(specs []RoutingSpec) ([][]RoutingToken, Metrics, error) {
 	if len(specs) != nw.g.N() {
 		return nil, Metrics{}, fmt.Errorf("hybrid: %d specs for %d nodes", len(specs), nw.g.N())
@@ -394,20 +525,7 @@ func (nw *Network) TokenRouting(specs []RoutingSpec) ([][]RoutingToken, Metrics,
 	if err := routing.Validate(specs); err != nil {
 		return nil, Metrics{}, err
 	}
-	out := make([][]routing.Token, nw.g.N())
-	var m Metrics
-	var err error
-	if nw.cfg.Engine == EngineStep {
-		m, err = sim.RunStep(nw.g, nw.cfg, func(env *sim.Env) sim.StepProgram {
-			id := env.ID()
-			return routing.NewRouteProgram(env, specs[id], routing.Params{},
-				func(toks []routing.Token) { out[id] = toks })
-		})
-	} else {
-		m, err = sim.Run(nw.g, nw.cfg, func(env *sim.Env) {
-			out[env.ID()] = routing.Route(env, specs[env.ID()], routing.Params{})
-		})
-	}
+	out, m, err := run(nw, routing.Pipeline(specs, nw.routingParams()))
 	if err != nil {
 		return nil, Metrics{}, err
 	}

@@ -79,18 +79,21 @@ func TestFacadeSSSPBadSource(t *testing.T) {
 func TestFacadeKSSPVariants(t *testing.T) {
 	g := hybrid.GridGraph(7, 7)
 	sources := []int{0, 24, 48}
-	for _, variant := range []hybrid.KSSPVariant{hybrid.VariantCor46, hybrid.VariantCor47, hybrid.VariantCor48} {
+	for _, spec := range []hybrid.KSSPSpec{hybrid.Cor46(0.5), hybrid.Cor47(0.5), hybrid.Cor48(0.5)} {
 		net := hybrid.New(g, hybrid.WithSeed(4))
-		res, err := net.KSSP(sources, variant, 0.5)
+		res, err := net.KSSP(sources, spec)
 		if err != nil {
-			t.Fatalf("variant %d: %v", variant, err)
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if res.Algorithm != spec.Name() || res.Guarantee == "" {
+			t.Fatalf("%s: result not tagged with spec name/guarantee", spec.Name())
 		}
 		for _, s := range sources {
 			want := hybrid.Dijkstra(g, s)
 			for v := 0; v < g.N(); v++ {
 				dt := res.Dist[v][s]
 				if dt < want[v] || dt > 8*want[v]+8 {
-					t.Fatalf("variant %d: d~(%d,%d) = %d vs true %d", variant, v, s, dt, want[v])
+					t.Fatalf("%s: d~(%d,%d) = %d vs true %d", spec.Name(), v, s, dt, want[v])
 				}
 			}
 		}
@@ -99,22 +102,28 @@ func TestFacadeKSSPVariants(t *testing.T) {
 
 func TestFacadeKSSPUnknownVariant(t *testing.T) {
 	net := hybrid.New(hybrid.PathGraph(4))
-	if _, err := net.KSSP([]int{0}, hybrid.KSSPVariant(99), 0.5); err == nil {
+	if _, err := net.KSSPByVariant([]int{0}, hybrid.KSSPVariant(99), 0.5); err == nil {
 		t.Fatal("expected error for unknown variant")
+	}
+	if _, err := net.KSSP([]int{0}, hybrid.KSSPSpec{}); err == nil {
+		t.Fatal("expected error for zero-value spec")
 	}
 }
 
 func TestFacadeDiameter(t *testing.T) {
 	g := hybrid.GridGraph(6, 6)
 	d := hybrid.HopDiameter(g)
-	for _, variant := range []hybrid.DiameterVariant{hybrid.DiameterCor52, hybrid.DiameterCor53} {
+	for _, spec := range []hybrid.DiameterSpec{hybrid.DiamCor52(0.5), hybrid.DiamCor53(0.5)} {
 		net := hybrid.New(g, hybrid.WithSeed(5))
-		res, err := net.Diameter(variant, 0.5)
+		res, err := net.Diameter(spec)
 		if err != nil {
-			t.Fatalf("variant %d: %v", variant, err)
+			t.Fatalf("%s: %v", spec.Name(), err)
 		}
 		if res.Estimate < d || res.Estimate > 3*d {
-			t.Fatalf("variant %d: estimate %d vs true %d", variant, res.Estimate, d)
+			t.Fatalf("%s: estimate %d vs true %d", spec.Name(), res.Estimate, d)
+		}
+		if res.Algorithm != spec.Name() || res.Guarantee == "" {
+			t.Fatalf("%s: result not tagged with spec name/guarantee", spec.Name())
 		}
 	}
 }

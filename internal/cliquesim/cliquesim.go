@@ -62,8 +62,9 @@ type Result struct {
 // Simulate runs the CLIQUE algorithm produced by factory on the skeleton
 // members, collectively. skel is this node's skeleton view (from
 // skeleton.Compute); sampleProb the sampling probability (it determines the
-// helper parameter µ = min(sqrt(k), 1/p) of the routing session).
-func Simulate(env *sim.Env, skel skeleton.Result, sampleProb float64, factory Factory) Result {
+// helper parameter µ = min(sqrt(k), 1/p) of the routing session); rparams
+// tunes the routing sessions (and carries the optional session cache).
+func Simulate(env *sim.Env, skel skeleton.Result, sampleProb float64, factory Factory, rparams routing.Params) Result {
 	// Establish the shared index space: count members exactly, then make
 	// the member list public knowledge (Corollary 4.1's dissemination run).
 	inS := int64(0)
@@ -76,18 +77,8 @@ func Simulate(env *sim.Env, skel skeleton.Result, sampleProb float64, factory Fa
 		mine = append(mine, ncc.Token{A: int64(env.ID())})
 	}
 	memberTokens := ncc.Disseminate(env, mine, count, 1, ncc.DisseminateParams{})
-	members := make([]int, 0, len(memberTokens))
-	for _, t := range memberTokens {
-		members = append(members, int(t.A))
-	}
-	sort.Ints(members)
+	members, index := membersFromTokens(env.ID(), memberTokens)
 	q := len(members)
-	index := -1
-	for i, id := range members {
-		if id == env.ID() {
-			index = i
-		}
-	}
 
 	res := Result{Members: members, Index: index}
 	if q == 0 {
@@ -100,82 +91,110 @@ func Simulate(env *sim.Env, skel skeleton.Result, sampleProb float64, factory Fa
 	// round moves at most q messages = 2q tokens per member in each
 	// direction.
 	session := routing.NewSession(env, skel.InSkeleton, skel.InSkeleton,
-		2*q, 2*q, sampleProb, sampleProb, routing.Params{})
+		2*q, 2*q, sampleProb, sampleProb, rparams)
 
 	// Build this member's CLIQUE input: its incident skeleton edges
 	// translated to clique indices.
 	if index >= 0 {
-		adj := make([]graph.Neighbor, 0, len(skel.Near))
-		for i, id := range members {
-			if id == env.ID() {
-				continue
-			}
-			if d, ok := skel.Near[id]; ok {
-				adj = append(adj, graph.Neighbor{To: i, W: d})
-			}
-		}
-		res.Node = alg.NewNode(index, adj)
+		res.Node = alg.NewNode(index, cliqueAdjacency(env.ID(), skel, members))
 	}
 
 	// Algorithm 8: simulate each CLIQUE round with one routing instance.
 	rounds := alg.Rounds()
 	for r := 0; r < rounds; r++ {
-		var send []routing.Token
-		var expect []routing.Label
-		if index >= 0 {
-			slots := alg.Schedule(r, index)
-			vals := res.Node.Send(r)
-			send = make([]routing.Token, 0, 2*len(slots))
-			for si, s := range slots {
-				dst := members[s.Dst]
-				send = append(send,
-					routing.Token{Label: routing.Label{S: env.ID(), R: dst, I: s.Tag * 2}, Value: vals[si].F0},
-					routing.Token{Label: routing.Label{S: env.ID(), R: dst, I: s.Tag*2 + 1}, Value: vals[si].F1},
-				)
-			}
-			// Receivers compute their expected labels from the public
-			// schedule of every sender.
-			for jp := 0; jp < q; jp++ {
-				if jp == index {
-					// Self-slots short-circuit below.
-					continue
-				}
-				for _, s := range alg.Schedule(r, jp) {
-					if s.Dst != index {
-						continue
-					}
-					src := members[jp]
-					expect = append(expect,
-						routing.Label{S: src, R: env.ID(), I: s.Tag * 2},
-						routing.Label{S: src, R: env.ID(), I: s.Tag*2 + 1},
-					)
-				}
-			}
-		}
-		// Self-addressed messages skip the network.
-		var selfIn []clique.Incoming
-		filtered := send[:0]
-		for _, t := range send {
-			if t.R == env.ID() {
-				if t.I%2 == 0 {
-					selfIn = append(selfIn, clique.Incoming{Src: index, Tag: t.I / 2, Val: clique.Value{F0: t.Value}})
-				} else if len(selfIn) > 0 {
-					selfIn[len(selfIn)-1].Val.F1 = t.Value
-				}
-				continue
-			}
-			filtered = append(filtered, t)
-		}
-		send = filtered
-
+		send, expect, selfIn := roundInstance(env.ID(), alg, res.Node, members, q, index, r)
 		got := session.Route(send, expect)
-
 		if index >= 0 {
-			in := assemble(got, members, selfIn)
-			res.Node.Recv(r, in)
+			res.Node.Recv(r, assemble(got, members, selfIn))
 		}
 	}
 	return res
+}
+
+// membersFromTokens decodes the disseminated member list into the sorted
+// shared index space and locates this node's clique index (-1 if not a
+// member) — the local tail of the dissemination run, shared with the step
+// form.
+func membersFromTokens(me int, memberTokens []ncc.Token) ([]int, int) {
+	members := make([]int, 0, len(memberTokens))
+	for _, t := range memberTokens {
+		members = append(members, int(t.A))
+	}
+	sort.Ints(members)
+	index := -1
+	for i, id := range members {
+		if id == me {
+			index = i
+		}
+	}
+	return members, index
+}
+
+// cliqueAdjacency translates a member's incident skeleton edges into
+// clique index space (its CLIQUE input).
+func cliqueAdjacency(me int, skel skeleton.Result, members []int) []graph.Neighbor {
+	adj := make([]graph.Neighbor, 0, len(skel.Near))
+	for i, id := range members {
+		if id == me {
+			continue
+		}
+		if d, ok := skel.Near[id]; ok {
+			adj = append(adj, graph.Neighbor{To: i, W: d})
+		}
+	}
+	return adj
+}
+
+// roundInstance builds one node's routing instance for CLIQUE round r from
+// the public schedule: the tokens to send (self-addressed ones filtered
+// into selfIn, skipping the network), and the labels to expect. Pure and
+// shared between Simulate and the step form; non-members send and expect
+// nothing but still serve as helpers.
+func roundInstance(me int, alg clique.Algorithm, node clique.Node, members []int, q, index, r int) (send []routing.Token, expect []routing.Label, selfIn []clique.Incoming) {
+	if index >= 0 {
+		slots := alg.Schedule(r, index)
+		vals := node.Send(r)
+		send = make([]routing.Token, 0, 2*len(slots))
+		for si, s := range slots {
+			dst := members[s.Dst]
+			send = append(send,
+				routing.Token{Label: routing.Label{S: me, R: dst, I: s.Tag * 2}, Value: vals[si].F0},
+				routing.Token{Label: routing.Label{S: me, R: dst, I: s.Tag*2 + 1}, Value: vals[si].F1},
+			)
+		}
+		// Receivers compute their expected labels from the public
+		// schedule of every sender.
+		for jp := 0; jp < q; jp++ {
+			if jp == index {
+				// Self-slots short-circuit below.
+				continue
+			}
+			for _, s := range alg.Schedule(r, jp) {
+				if s.Dst != index {
+					continue
+				}
+				src := members[jp]
+				expect = append(expect,
+					routing.Label{S: src, R: me, I: s.Tag * 2},
+					routing.Label{S: src, R: me, I: s.Tag*2 + 1},
+				)
+			}
+		}
+	}
+	// Self-addressed messages skip the network.
+	filtered := send[:0]
+	for _, t := range send {
+		if t.R == me {
+			if t.I%2 == 0 {
+				selfIn = append(selfIn, clique.Incoming{Src: index, Tag: t.I / 2, Val: clique.Value{F0: t.Value}})
+			} else if len(selfIn) > 0 {
+				selfIn[len(selfIn)-1].Val.F1 = t.Value
+			}
+			continue
+		}
+		filtered = append(filtered, t)
+	}
+	return filtered, expect, selfIn
 }
 
 // assemble pairs the two word-tokens of each message back into

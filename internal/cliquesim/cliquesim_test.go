@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/graph"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/skeleton"
 )
@@ -19,7 +20,7 @@ func runSim(t *testing.T, g *graph.Graph, sp skeleton.Params, factory Factory, s
 	m, err := sim.Run(g, sim.Config{Seed: seed}, func(env *sim.Env) {
 		skel := skeleton.Compute(env, sp, false)
 		skels[env.ID()] = skel
-		results[env.ID()] = Simulate(env, skel, sp.SampleProb(env.N()), factory)
+		results[env.ID()] = Simulate(env, skel, sp.SampleProb(env.N()), factory, routing.Params{})
 	})
 	if err != nil {
 		t.Fatal(err)

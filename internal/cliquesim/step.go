@@ -1,0 +1,91 @@
+package cliquesim
+
+import (
+	"repro/internal/clique"
+	"repro/internal/ncc"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// NewSimulateMachine is the step form of Simulate (see sim.StepProgram): a
+// faithful port of Algorithm 8 — identical messages, randomness order, and
+// round count — composed from the ncc/routing machines. Its core is the
+// RouteMachine-per-simulated-round driver: one SessionMachine computes the
+// helper families once, then every CLIQUE round chains a fresh
+// RouteMachine over the shared session, exactly as Simulate calls
+// session.Route in a loop. done receives the node's Result when the
+// machine finishes.
+func NewSimulateMachine(env *sim.Env, skel skeleton.Result, sampleProb float64, factory Factory, rparams routing.Params, done func(Result)) sim.StepProgram {
+	var agg *ncc.AggregateMachine
+	var diss *ncc.DisseminateMachine
+	var sessM *routing.SessionMachine
+	var res Result
+	var alg clique.Algorithm
+	var members []int
+	q, index := 0, -1
+
+	return sim.Sequence(
+		// Establish the shared index space: exact count, then public
+		// member list (Corollary 4.1's dissemination run).
+		func(env *sim.Env) sim.StepProgram {
+			inS := int64(0)
+			if skel.InSkeleton {
+				inS = 1
+			}
+			agg = ncc.NewAggregateMachine(env, inS, ncc.AggSum)
+			return agg
+		},
+		func(env *sim.Env) sim.StepProgram {
+			var mine []ncc.Token
+			if skel.InSkeleton {
+				mine = append(mine, ncc.Token{A: int64(env.ID())})
+			}
+			diss = ncc.NewDisseminateMachine(env, mine, int(agg.Out), 1, ncc.DisseminateParams{})
+			return diss
+		},
+		// The routing session over the members (the factory runs first,
+		// where Simulate calls it).
+		func(env *sim.Env) sim.StepProgram {
+			members, index = membersFromTokens(env.ID(), diss.Out)
+			q = len(members)
+			res = Result{Members: members, Index: index}
+			if q == 0 {
+				return nil
+			}
+			alg = factory(q, members)
+			res.Alg = alg
+			sessM = routing.NewSessionMachine(env, skel.InSkeleton, skel.InSkeleton,
+				2*q, 2*q, sampleProb, sampleProb, rparams)
+			return sessM
+		},
+		// Algorithm 8: one RouteMachine per CLIQUE round over the session.
+		func(env *sim.Env) sim.StepProgram {
+			if q == 0 {
+				return nil
+			}
+			if index >= 0 {
+				res.Node = alg.NewNode(index, cliqueAdjacency(env.ID(), skel, members))
+			}
+			rounds := alg.Rounds()
+			r := 0
+			var routeM *routing.RouteMachine
+			var selfIn []clique.Incoming
+			return sim.Chain(func(env *sim.Env) sim.StepProgram {
+				if routeM != nil && index >= 0 {
+					res.Node.Recv(r-1, assemble(routeM.Out, members, selfIn))
+				}
+				if r >= rounds {
+					return nil
+				}
+				var send []routing.Token
+				var expect []routing.Label
+				send, expect, selfIn = roundInstance(env.ID(), alg, res.Node, members, q, index, r)
+				routeM = routing.NewRouteMachine(sessM.Out, send, expect)
+				r++
+				return routeM
+			})
+		},
+		sim.Finish(func(env *sim.Env) { done(res) }),
+	)
+}

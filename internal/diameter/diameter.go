@@ -56,38 +56,74 @@ type diamFlood struct {
 	TTL   int
 }
 
-// Compute runs Algorithm 9 collectively and returns this node's diameter
-// estimate D~ with D <= D~ <= (α + 2/η + β/T_B)·D w.h.p. on unweighted
-// graphs (Theorem 5.1).
-func Compute(env *sim.Env, spec AlgSpec, params Params) int64 {
-	n := env.N()
+// hopWave is the all-sources BFS payload of the h_v measurement (shared by
+// the goroutine and step forms of the exploration, so both send
+// message-for-message identical floods).
+type hopWave struct {
+	Source int
+	Hops   int
+}
+
+// plan resolves the derived parameters: skeleton params at x = 2/(3+2δ),
+// exploration depth h, and the ηh local exploration rounds.
+func (spec AlgSpec) plan(params Params, n int) (sp skeleton.Params, h, etaRounds int) {
 	x := params.XOverride
 	if x <= 0 || x >= 1 {
 		x = 2 / (3 + 2*spec.Delta)
 	}
-	sp := skeleton.Params{X: x, HFactor: params.HFactor}
-	h := sp.H(n)
-	etaRounds := int(math.Ceil(spec.Eta * float64(h)))
+	sp = skeleton.Params{X: x, HFactor: params.HFactor}
+	h = sp.H(n)
+	etaRounds = int(math.Ceil(spec.Eta * float64(h)))
 	if etaRounds < h {
 		etaRounds = h
 	}
 	if etaRounds > n {
 		etaRounds = n
 	}
+	return sp, h, etaRounds
+}
 
-	// Skeleton and CLIQUE simulation: skeleton members learn D~(S).
-	skel := skeleton.Compute(env, sp, false)
-	factory := func(q int, members []int) clique.Algorithm {
+// cliqueFactory wraps spec.Factory as the run-scoped shared instance the
+// CLIQUE simulation needs (identical at every node; pooled for the
+// declared-cost oracle).
+func cliqueFactory(env *sim.Env, spec AlgSpec) cliquesim.Factory {
+	return func(q int, members []int) clique.Algorithm {
 		v := env.SharedOnce("diameter.alg", func() interface{} { return spec.Factory(q) })
 		return v.(clique.Algorithm)
 	}
-	simRes := cliquesim.Simulate(env, skel, sp.SampleProb(n), factory)
-	dS := int64(-1)
+}
+
+// skeletonDiameter reads D~(S) out of a member's finished CLIQUE node
+// (-1 for non-members).
+func skeletonDiameter(simRes cliquesim.Result) int64 {
 	if simRes.Node != nil {
 		if dn, ok := simRes.Node.(clique.DiameterNode); ok {
-			dS = dn.Diameter()
+			return dn.Diameter()
 		}
 	}
+	return -1
+}
+
+// estimate applies Equation (3)'s final rule to the aggregated ĥ and
+// D~(S).
+func estimate(hHat, dSGlobal int64, h, etaRounds int) int64 {
+	if hHat <= int64(etaRounds) {
+		return hHat
+	}
+	return dSGlobal + 2*int64(h)
+}
+
+// Compute runs Algorithm 9 collectively and returns this node's diameter
+// estimate D~ with D <= D~ <= (α + 2/η + β/T_B)·D w.h.p. on unweighted
+// graphs (Theorem 5.1).
+func Compute(env *sim.Env, spec AlgSpec, params Params) int64 {
+	n := env.N()
+	sp, h, etaRounds := spec.plan(params, n)
+
+	// Skeleton and CLIQUE simulation: skeleton members learn D~(S).
+	skel := skeleton.Compute(env, sp, false)
+	simRes := cliquesim.Simulate(env, skel, sp.SampleProb(n), cliqueFactory(env, spec), params.Routing)
+	dS := skeletonDiameter(simRes)
 
 	// Local exploration for ηh+1 rounds: flood D~(S) (every node has a
 	// skeleton node within h <= ηh hops w.h.p.) and measure h_v, the
@@ -106,20 +142,13 @@ func Compute(env *sim.Env, spec AlgSpec, params Params) int64 {
 	// missed the flood (coverage failure) still answer consistently.
 	hHat := ncc.Aggregate(env, int64(hv), ncc.AggMax)
 	dSGlobal := ncc.Aggregate(env, myDS, ncc.AggMax)
-	if hHat <= int64(etaRounds) {
-		return hHat
-	}
-	return dSGlobal + 2*int64(h)
+	return estimate(hHat, dSGlobal, h, etaRounds)
 }
 
 // exploreWithDiameter runs `rounds` rounds of local flooding that both
 // measures the largest hop distance seen (via an all-sources BFS wave) and
 // spreads the skeleton's diameter estimate. Returns (best D~(S) heard, h_v).
 func exploreWithDiameter(env *sim.Env, rounds int, initial []interface{}) (int64, int) {
-	type hopWave struct {
-		Source int
-		Hops   int
-	}
 	seen := map[int]int{env.ID(): 0}
 	hv := 0
 	myDS := int64(-1)

@@ -331,7 +331,7 @@ func runCliqueSimulation(n int, sp skeleton.Params, ta float64, seed int64, qOut
 			})
 			return v.(clique.Algorithm)
 		}
-		res := cliquesim.Simulate(env, skel, sp.SampleProb(env.N()), factory)
+		res := cliquesim.Simulate(env, skel, sp.SampleProb(env.N()), factory, routing.Params{})
 		qs[env.ID()] = len(res.Members)
 	})
 	if err != nil {

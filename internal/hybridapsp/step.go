@@ -273,3 +273,41 @@ func newPublishMachine(env *sim.Env, skel skeleton.Result, dp ncc.DisseminatePar
 
 // Step implements sim.StepProgram.
 func (pm *publishMachine) Step(env *sim.Env) bool { return pm.prog.Step(env) }
+
+// Pipeline returns the Theorem 1.1 exact APSP as a sim.Pipeline; the
+// per-node result is the node's dense distance vector.
+func Pipeline(params Params) sim.Pipeline[[]int64] {
+	return sim.Pipeline[[]int64]{
+		Run: func(env *sim.Env) []int64 {
+			return Compute(env, params)
+		},
+		Machine: func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return NewComputeMachine(env, params, done)
+		},
+	}
+}
+
+// BaselinePipeline returns the O~(n^(2/3)) APSP of [3] as a sim.Pipeline.
+func BaselinePipeline(params Params) sim.Pipeline[[]int64] {
+	return sim.Pipeline[[]int64]{
+		Run: func(env *sim.Env) []int64 {
+			return BaselineCompute(env, params)
+		},
+		Machine: func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return NewBaselineComputeMachine(env, params, done)
+		},
+	}
+}
+
+// LocalPipeline returns the Θ(D) pure-LOCAL flooding baseline as a
+// sim.Pipeline.
+func LocalPipeline(rounds int) sim.Pipeline[[]int64] {
+	return sim.Pipeline[[]int64]{
+		Run: func(env *sim.Env) []int64 {
+			return LocalCompute(env, rounds)
+		},
+		Machine: func(env *sim.Env, done func([]int64)) sim.StepProgram {
+			return NewLocalComputeMachine(env, rounds, done)
+		},
+	}
+}

@@ -67,18 +67,17 @@ type SourceDist struct {
 	Dist   int64
 }
 
-// Compute runs Algorithm 5 collectively. isSource marks this node as one of
-// the sources; kBound is a globally known upper bound on the number of
-// sources. It returns this node's estimates, sorted by source ID.
-func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Params) []SourceDist {
-	n := env.N()
+// plan resolves the framework's derived parameters: the skeleton params at
+// x = 2/(3+2δ), the exploration depth h, and the ηh local exploration
+// rounds (clamped per Params).
+func (spec AlgSpec) plan(params Params, n int) (sp skeleton.Params, h, etaRounds int) {
 	x := params.XOverride
 	if x <= 0 || x >= 1 {
 		x = 2 / (3 + 2*spec.Delta)
 	}
-	sp := skeleton.Params{X: x, HFactor: params.HFactor}
-	h := sp.H(n)
-	etaRounds := int(math.Ceil(spec.Eta * float64(h)))
+	sp = skeleton.Params{X: x, HFactor: params.HFactor}
+	h = sp.H(n)
+	etaRounds = int(math.Ceil(spec.Eta * float64(h)))
 	if etaRounds < h {
 		etaRounds = h
 	}
@@ -88,20 +87,17 @@ func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Param
 	if params.MaxEtaRounds > 0 && etaRounds > params.MaxEtaRounds {
 		etaRounds = params.MaxEtaRounds
 	}
+	return sp, h, etaRounds
+}
 
-	// Skeleton; single sources are summoned into it (Algorithm 6, γ = 0).
-	skel := skeleton.Compute(env, sp, isSource && spec.SingleSource)
-
-	// Representatives (Algorithm 7): public triples (source, rep, d_h).
-	reps := skeleton.ComputeRepresentatives(env, skel, isSource, kBound)
-
-	// CLIQUE simulation on the skeleton (Algorithm 8 / Corollary 4.1). The
-	// sources of the simulated problem are the representatives, translated
-	// to clique indices inside the factory once members are known. The
-	// algorithm instance is run-scoped (env.SharedOnce): every node would
-	// construct the identical object from public knowledge, and the
-	// declared-cost oracle additionally requires a single pooled instance.
-	factory := func(q int, members []int) clique.Algorithm {
+// cliqueFactory builds the CLIQUE-simulation factory for Algorithm 5. The
+// sources of the simulated problem are the representatives, translated to
+// clique indices inside the factory once members are known. The algorithm
+// instance is run-scoped (env.SharedOnce): every node would construct the
+// identical object from public knowledge, and the declared-cost oracle
+// additionally requires a single pooled instance.
+func cliqueFactory(env *sim.Env, spec AlgSpec, reps []skeleton.RepInfo) cliquesim.Factory {
+	return func(q int, members []int) clique.Algorithm {
 		v := env.SharedOnce("kssp.alg", func() interface{} {
 			rank := make(map[int]int, len(members))
 			for i, id := range members {
@@ -119,58 +115,85 @@ func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Param
 		})
 		return v.(clique.Algorithm)
 	}
-	simRes := cliquesim.Simulate(env, skel, sp.SampleProb(n), factory)
+}
+
+// Compute runs Algorithm 5 collectively. isSource marks this node as one of
+// the sources; kBound is a globally known upper bound on the number of
+// sources. It returns this node's estimates, sorted by source ID.
+func Compute(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Params) []SourceDist {
+	n := env.N()
+	sp, h, etaRounds := spec.plan(params, n)
+
+	// Skeleton; single sources are summoned into it (Algorithm 6, γ = 0).
+	skel := skeleton.Compute(env, sp, isSource && spec.SingleSource)
+
+	// Representatives (Algorithm 7): public triples (source, rep, d_h).
+	reps := skeleton.ComputeRepresentatives(env, skel, isSource, kBound)
+
+	// CLIQUE simulation on the skeleton (Algorithm 8 / Corollary 4.1).
+	simRes := cliquesim.Simulate(env, skel, sp.SampleProb(n), cliqueFactory(env, spec, reps), params.Routing)
 
 	// Local exploration to depth ηh with the sources as origins gives the
 	// exact first term of Equation (1) for close pairs.
 	local, _ := skeleton.LimitedExplore(env, isSource, etaRounds)
 
-	// Skeleton nodes flood their simulated estimates d~(u, rep(s)) for every
-	// source s to radius h (the result distribution of Algorithm 5's final
-	// loop). Records are keyed by the source's position in the public reps
-	// list; the column of rep(s) in the node's output vector is found via
-	// the algorithm's Sources() (all nodes for APSP algorithms, the source
-	// index list otherwise).
-	var mine []int64
-	if simRes.Index >= 0 && simRes.Node != nil {
-		if dn, ok := simRes.Node.(clique.DistanceNode); ok {
-			dists := dn.Distances()
-			memberRank := make(map[int]int, len(simRes.Members))
-			for i, id := range simRes.Members {
-				memberRank[id] = i
-			}
-			col := map[int]int{}
-			if da, ok := simRes.Alg.(clique.DistanceAlgorithm); ok {
-				for ci, s := range da.Sources() {
-					col[s] = ci
-				}
-			}
-			vals := make([]int64, len(reps))
-			for oi := range vals {
-				vals[oi] = -1
-			}
-			count := 0
-			for oi, ri := range reps {
-				i, inClique := memberRank[ri.Rep]
-				if !inClique {
-					continue
-				}
-				c, hasCol := col[i]
-				if !hasCol || c >= len(dists) {
-					continue
-				}
-				vals[oi] = dists[c]
-				count++
-			}
-			if count > 0 {
-				mine = vals
-			}
+	// Skeleton nodes flood their simulated estimates to radius h.
+	labels := skeleton.FloodVectors(env, simVector(simRes, reps), h)
+
+	return combineEstimates(skel, reps, simRes, local, labels)
+}
+
+// simVector extracts this node's simulated estimates d~(u, rep(s)) as the
+// vector it floods in Algorithm 5's final loop (nil unless a member with
+// results). Records are keyed by the source's position in the public reps
+// list; the column of rep(s) in the node's output vector is found via the
+// algorithm's Sources() (all nodes for APSP algorithms, the source index
+// list otherwise).
+func simVector(simRes cliquesim.Result, reps []skeleton.RepInfo) []int64 {
+	if simRes.Index < 0 || simRes.Node == nil {
+		return nil
+	}
+	dn, ok := simRes.Node.(clique.DistanceNode)
+	if !ok {
+		return nil
+	}
+	dists := dn.Distances()
+	memberRank := make(map[int]int, len(simRes.Members))
+	for i, id := range simRes.Members {
+		memberRank[id] = i
+	}
+	col := map[int]int{}
+	if da, ok := simRes.Alg.(clique.DistanceAlgorithm); ok {
+		for ci, s := range da.Sources() {
+			col[s] = ci
 		}
 	}
-	labels := skeleton.FloodVectors(env, mine, h)
+	vals := make([]int64, len(reps))
+	for oi := range vals {
+		vals[oi] = -1
+	}
+	count := 0
+	for oi, ri := range reps {
+		i, inClique := memberRank[ri.Rep]
+		if !inClique {
+			continue
+		}
+		c, hasCol := col[i]
+		if !hasCol || c >= len(dists) {
+			continue
+		}
+		vals[oi] = dists[c]
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	return vals
+}
 
-	// Combine per Equation (1):
-	// d~(v,s) = min(d_ηh(v,s), min_u d_h(v,u) + d~(u,r_s) + d_h(r_s,s)).
+// combineEstimates applies Equation (1):
+// d~(v,s) = min(d_ηh(v,s), min_u d_h(v,u) + d~(u,r_s) + d_h(r_s,s)).
+func combineEstimates(skel skeleton.Result, reps []skeleton.RepInfo, simRes cliquesim.Result, local []int64, labels map[int][]int64) []SourceDist {
 	out := make([]SourceDist, 0, len(reps))
 	srcOrder := orderedSourceIndex(simRes, reps)
 	for _, ri := range reps {

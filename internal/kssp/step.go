@@ -1,0 +1,70 @@
+package kssp
+
+import (
+	"repro/internal/cliquesim"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// NewComputeMachine is the step form of Compute (Algorithm 5, see
+// sim.StepProgram): the identical phases — skeleton, representatives,
+// CLIQUE simulation, ηh exploration, label flood, Equation (1) — composed
+// from the skeleton/cliquesim machines, sharing the plan/factory/combine
+// helpers with the goroutine form so the two stay line-for-line twins.
+// done receives this node's estimates when the machine finishes.
+func NewComputeMachine(env *sim.Env, isSource bool, kBound int, spec AlgSpec, params Params, done func([]SourceDist)) sim.StepProgram {
+	n := env.N()
+	sp, h, etaRounds := spec.plan(params, n)
+
+	var skelM *skeleton.ComputeMachine
+	var repsM *skeleton.RepresentativesMachine
+	var exploreM *skeleton.ExploreMachine
+	var floodM *skeleton.FloodVectorsMachine
+	var simRes cliquesim.Result
+
+	return sim.Sequence(
+		// Skeleton; single sources are summoned into it (Algorithm 6, γ=0).
+		func(env *sim.Env) sim.StepProgram {
+			skelM = skeleton.NewComputeMachine(env, sp, isSource && spec.SingleSource)
+			return skelM
+		},
+		// Representatives (Algorithm 7).
+		func(env *sim.Env) sim.StepProgram {
+			repsM = skeleton.NewRepresentativesMachine(env, skelM.Res, isSource, kBound)
+			return repsM
+		},
+		// CLIQUE simulation on the skeleton (Algorithm 8 / Corollary 4.1).
+		func(env *sim.Env) sim.StepProgram {
+			return cliquesim.NewSimulateMachine(env, skelM.Res, sp.SampleProb(n),
+				cliqueFactory(env, spec, repsM.Out), params.Routing,
+				func(r cliquesim.Result) { simRes = r })
+		},
+		// Local exploration to depth ηh (first term of Equation (1)).
+		func(env *sim.Env) sim.StepProgram {
+			exploreM = skeleton.NewExploreMachine(env, isSource, etaRounds)
+			return exploreM
+		},
+		// Skeleton nodes flood their simulated estimates to radius h.
+		func(env *sim.Env) sim.StepProgram {
+			floodM = skeleton.NewFloodVectorsMachine(env, simVector(simRes, repsM.Out), h)
+			return floodM
+		},
+		sim.Finish(func(env *sim.Env) {
+			done(combineEstimates(skelM.Res, repsM.Out, simRes, exploreM.Near, floodM.Known))
+		}),
+	)
+}
+
+// Pipeline returns Algorithm 5 as a sim.Pipeline: isSource[v] marks the
+// sources, kBound is the globally known bound on their number, and the
+// per-node result is the node's estimates sorted by source ID.
+func Pipeline(isSource []bool, kBound int, spec AlgSpec, params Params) sim.Pipeline[[]SourceDist] {
+	return sim.Pipeline[[]SourceDist]{
+		Run: func(env *sim.Env) []SourceDist {
+			return Compute(env, isSource[env.ID()], kBound, spec, params)
+		},
+		Machine: func(env *sim.Env, done func([]SourceDist)) sim.StepProgram {
+			return NewComputeMachine(env, isSource[env.ID()], kBound, spec, params, done)
+		},
+	}
+}

@@ -1,0 +1,176 @@
+package routing
+
+import (
+	"sync"
+
+	"repro/internal/bitrand"
+	"repro/internal/helpers"
+	"repro/internal/ncc"
+	"repro/internal/sim"
+)
+
+// SessionCache caches the token-independent session state — the helper
+// families of Algorithm 1, the cluster-local helper directories, and the
+// shared intermediate-choosing hash — across session constructions. The
+// paper's cost accounting already reuses Algorithm 1's output across the
+// routing instances of one CLIQUE simulation (helper sets depend only on
+// S, R and µ, not on the tokens); the cache extends the same argument
+// across *runs*: when the same sender/receiver sets recur — repeated
+// facade calls on one Network, experiment sweeps, the per-phase sessions
+// of a pipeline — the setup rounds are paid once.
+//
+// Correctness is collective: an entry records every node's (inS, inR)
+// membership at creation, and a cached construction first runs one global
+// max-aggregation (2·ceil(log2 n) rounds, Lemma B.2) in which each node
+// reports whether its own slot still matches. Only a unanimous match binds
+// the cached state; any mismatch rebuilds the session from scratch (and
+// re-caches it). Every node therefore takes the same branch, round counts
+// stay globally consistent on every engine, and the cache never changes
+// results — only the number of setup rounds. Runs of the owning Network
+// must not overlap (they never do; engines run one barrier loop at a
+// time).
+type SessionCache struct {
+	mu      sync.Mutex
+	entries map[sessionKey]*sessionEntry
+	order   []sessionKey // insertion order, for deterministic FIFO eviction
+}
+
+// maxSessionEntries bounds the cache: one entry holds O(n·µ) helper
+// directories, and a parameter sweep that never repeats a key would
+// otherwise grow without bound. Eviction is FIFO on insertion order —
+// deterministic, so repeated runs with the same seed keep identical
+// hit/miss sequences and therefore identical round counts.
+const maxSessionEntries = 16
+
+// NewSessionCache returns an empty cache, ready to be shared by any number
+// of sequential runs over the same node set.
+func NewSessionCache() *SessionCache {
+	return &SessionCache{entries: map[sessionKey]*sessionEntry{}}
+}
+
+// sessionKey is the globally known part of a session's identity. The
+// per-node membership bits are checked separately (collectively) because
+// no single node knows the full S and R sets.
+type sessionKey struct {
+	kS, kR      int
+	pS, pR      float64
+	muS, muR    int
+	hashKFactor int
+	qBoost      int
+}
+
+func keyOf(p Params, kS, kR int, pS, pR float64, muS, muR int) sessionKey {
+	return sessionKey{
+		kS: kS, kR: kR, pS: pS, pR: pR, muS: muS, muR: muR,
+		hashKFactor: p.HashKFactor, qBoost: p.Helpers.QBoost,
+	}
+}
+
+// familySnap is one node's cached view of one helper family. The maps and
+// slices are shared read-only between the entry and every Session bound
+// from it; only the per-Route items scratch is allocated fresh per bind.
+type familySnap struct {
+	res        helpers.Result
+	helperSets map[int][]int
+	myOwners   []int
+}
+
+// sessionEntry holds the cached per-node session state. Each node only
+// ever reads and writes its own index, so slot access needs no lock: the
+// engines' round barriers (within a run) and Run's return (across runs)
+// order every write before every later read.
+type sessionEntry struct {
+	filled []bool
+	inS    []bool
+	inR    []bool
+	famS   []familySnap
+	famR   []familySnap
+	hash   []*bitrand.KWiseHash
+}
+
+func newSessionEntry(n int) *sessionEntry {
+	return &sessionEntry{
+		filled: make([]bool, n),
+		inS:    make([]bool, n),
+		inR:    make([]bool, n),
+		famS:   make([]familySnap, n),
+		famR:   make([]familySnap, n),
+		hash:   make([]*bitrand.KWiseHash, n),
+	}
+}
+
+func (c *SessionCache) lookup(key sessionKey) *sessionEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[key]
+}
+
+// shared returns the run-shared entry being (re)populated for key,
+// creating it and installing it into the cache exactly once per run:
+// env.SharedOnce guarantees all nodes of the run store into the same
+// object, replacing any stale entry atomically under the cache lock.
+func (c *SessionCache) shared(env *sim.Env, key sessionKey) *sessionEntry {
+	v := env.SharedOnce("routing.SessionCache", func() interface{} {
+		e := newSessionEntry(env.N())
+		c.mu.Lock()
+		if _, exists := c.entries[key]; !exists {
+			if len(c.order) >= maxSessionEntries {
+				oldest := c.order[0]
+				c.order = c.order[1:]
+				delete(c.entries, oldest)
+			}
+			c.order = append(c.order, key)
+		}
+		c.entries[key] = e
+		c.mu.Unlock()
+		return e
+	})
+	return v.(*sessionEntry)
+}
+
+// mismatch reports whether this node's slot of entry fails to match its
+// current membership (1) or matches (0); a nil or unfilled entry always
+// mismatches. The value feeds the collective max-aggregation.
+func (e *sessionEntry) mismatch(id int, inS, inR bool) int64 {
+	if e == nil || !e.filled[id] || e.inS[id] != inS || e.inR[id] != inR {
+		return 1
+	}
+	return 0
+}
+
+// store records one node's freshly built session state into its slot.
+func (e *sessionEntry) store(id int, inS, inR bool, s *Session) {
+	e.inS[id], e.inR[id] = inS, inR
+	e.famS[id] = familySnap{res: s.famS.res, helperSets: s.famS.helperSets, myOwners: s.famS.myOwners}
+	e.famR[id] = familySnap{res: s.famR.res, helperSets: s.famR.helperSets, myOwners: s.famR.myOwners}
+	e.hash[id] = s.hash
+	e.filled[id] = true
+}
+
+// bind constructs a ready Session from this node's cached slot, consuming
+// zero rounds. The Route-call scratch (per-owner item maps, intermediate
+// store, reply queue) starts fresh; everything token-independent is
+// shared.
+func (e *sessionEntry) bind(env *sim.Env, muS, muR int, p Params) *Session {
+	id := env.ID()
+	return &Session{
+		env:    env,
+		params: p,
+		famS:   family{res: e.famS[id].res, mu: muS, helperSets: e.famS[id].helperSets, myOwners: e.famS[id].myOwners, items: map[int][]Token{}},
+		famR:   family{res: e.famR[id].res, mu: muR, helperSets: e.famR[id].helperSets, myOwners: e.famR[id].myOwners, items: map[int][]Token{}},
+		hash:   e.hash[id],
+	}
+}
+
+// session is the cached construction path (goroutine form): the collective
+// hit/miss agreement, then either a zero-round bind or a full rebuild that
+// re-populates the cache.
+func (c *SessionCache) session(env *sim.Env, inS, inR bool, key sessionKey, muS, muR int, p Params) *Session {
+	entry := c.lookup(key)
+	if ncc.Aggregate(env, entry.mismatch(env.ID(), inS, inR), ncc.AggMax) == 0 {
+		return entry.bind(env, muS, muR, p)
+	}
+	s := buildSession(env, inS, inR, muS, muR, p)
+	c.shared(env, key).store(env.ID(), inS, inR, s)
+	return s
+}

@@ -1,0 +1,141 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// routePipeline runs one full routing instance through Pipeline (so the
+// goroutine and machine forms share one call path) and returns the
+// delivered tokens and metrics.
+func routePipeline(t *testing.T, g *graph.Graph, specs []Spec, eng sim.Engine, p Params) ([][]Token, sim.Metrics) {
+	t.Helper()
+	out, m, err := sim.RunPipeline(g, sim.Config{Seed: 9, Engine: eng}, Pipeline(specs, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, m
+}
+
+// TestSessionCacheReuseAcrossRuns pins the cache contract on every engine:
+// the first cached run pays exactly the 2·ceil(log2 n)-round agreement on
+// top of the uncached setup, a repeat run with identical membership reuses
+// the session (strictly fewer rounds), and neither changes any delivered
+// token.
+func TestSessionCacheReuseAcrossRuns(t *testing.T) {
+	g := graph.Grid(7, 7)
+	n := g.N()
+	specs := buildInstance(n, 0.4, 0.4, 2, 5)
+	if err := Validate(specs); err != nil {
+		t.Fatal(err)
+	}
+	base, baseM := routePipeline(t, g, specs, sim.EngineLegacy, Params{})
+	agreeRounds := 2 * sim.Log2Ceil(n)
+
+	for _, eng := range stepEngines {
+		cache := NewSessionCache()
+		p := Params{Cache: cache}
+		first, firstM := routePipeline(t, g, specs, eng, p)
+		second, secondM := routePipeline(t, g, specs, eng, p)
+		if !reflect.DeepEqual(first, base) || !reflect.DeepEqual(second, base) {
+			t.Errorf("%s: cached runs deliver different tokens than uncached", eng)
+		}
+		if firstM.Rounds != baseM.Rounds+agreeRounds {
+			t.Errorf("%s: first cached run took %d rounds, want uncached %d + agreement %d",
+				eng, firstM.Rounds, baseM.Rounds, agreeRounds)
+		}
+		if secondM.Rounds >= firstM.Rounds {
+			t.Errorf("%s: cache hit saved nothing: %d rounds vs %d", eng, secondM.Rounds, firstM.Rounds)
+		}
+	}
+}
+
+// TestSessionCacheMembershipMismatchRebuilds changes one node's membership
+// between runs while keeping every globally known parameter identical: the
+// collective agreement must detect the stale entry and rebuild (full setup
+// cost again), and delivery must stay correct.
+func TestSessionCacheMembershipMismatchRebuilds(t *testing.T) {
+	g := graph.Grid(7, 7)
+	n := g.N()
+	specs := buildInstance(n, 0.4, 0.4, 2, 5)
+
+	// A second instance with the same key but one more node in S (a sender
+	// with no tokens is legal), so exactly one node's slot mismatches.
+	specsB := make([]Spec, n)
+	copy(specsB, specs)
+	extra := -1
+	for v := range specsB {
+		if !specsB[v].InS {
+			extra = v
+			break
+		}
+	}
+	if extra < 0 {
+		t.Skip("instance saturated S")
+	}
+	specsB[extra].InS = true
+
+	_, baseBM := routePipeline(t, g, specsB, sim.EngineLegacy, Params{})
+	agreeRounds := 2 * sim.Log2Ceil(n)
+
+	cache := NewSessionCache()
+	p := Params{Cache: cache}
+	routePipeline(t, g, specs, sim.EngineLegacy, p) // populate
+	gotB, rebuildM := routePipeline(t, g, specsB, sim.EngineLegacy, p)
+	if rebuildM.Rounds != baseBM.Rounds+agreeRounds {
+		t.Errorf("mismatch run took %d rounds, want full rebuild %d + agreement %d",
+			rebuildM.Rounds, baseBM.Rounds, agreeRounds)
+	}
+	for v := range specsB {
+		if len(gotB[v]) != len(specsB[v].Expect) {
+			t.Fatalf("node %d received %d tokens after rebuild, want %d", v, len(gotB[v]), len(specsB[v].Expect))
+		}
+	}
+
+	// And the rebuilt entry serves the new membership on the next run.
+	_, hitM := routePipeline(t, g, specsB, sim.EngineLegacy, p)
+	if hitM.Rounds >= rebuildM.Rounds {
+		t.Errorf("post-rebuild hit saved nothing: %d vs %d rounds", hitM.Rounds, rebuildM.Rounds)
+	}
+}
+
+// TestSessionCacheEviction pins the FIFO bound: distinct keys beyond
+// maxSessionEntries evict the oldest entry (routing still correct), and a
+// re-keyed construction after eviction rebuilds rather than binding stale
+// state.
+func TestSessionCacheEviction(t *testing.T) {
+	g := graph.Grid(5, 5)
+	n := g.N()
+	specs := buildInstance(n, 0.5, 0.5, 1, 3)
+	cache := NewSessionCache()
+
+	// Distinct HashKFactor values produce distinct keys.
+	for hk := 1; hk <= maxSessionEntries+2; hk++ {
+		p := Params{Cache: cache, HashKFactor: hk}
+		out, _ := routePipeline(t, g, specs, sim.EngineLegacy, p)
+		for v := range specs {
+			if len(out[v]) != len(specs[v].Expect) {
+				t.Fatalf("hk=%d: node %d received %d tokens, want %d", hk, v, len(out[v]), len(specs[v].Expect))
+			}
+		}
+	}
+	if got := len(cache.entries); got > maxSessionEntries {
+		t.Fatalf("cache holds %d entries, cap %d", got, maxSessionEntries)
+	}
+	// The first key was evicted: rerunning it must rebuild (uncached
+	// rounds + agreement), not bind stale state, and still deliver.
+	_, baseM := routePipeline(t, g, specs, sim.EngineLegacy, Params{HashKFactor: 1})
+	out, m := routePipeline(t, g, specs, sim.EngineLegacy, Params{Cache: cache, HashKFactor: 1})
+	if m.Rounds != baseM.Rounds+2*sim.Log2Ceil(n) {
+		t.Errorf("evicted key reran in %d rounds, want rebuild %d + agreement %d",
+			m.Rounds, baseM.Rounds, 2*sim.Log2Ceil(n))
+	}
+	for v := range specs {
+		if len(out[v]) != len(specs[v].Expect) {
+			t.Fatalf("post-eviction node %d received %d tokens, want %d", v, len(out[v]), len(specs[v].Expect))
+		}
+	}
+}

@@ -98,6 +98,11 @@ type Params struct {
 	// of the intermediate-choosing hash (Lemma D.2 wants Θ(log n)).
 	// Zero means 3.
 	HashKFactor int
+	// Cache, if non-nil, reuses the token-independent session state across
+	// constructions with matching parameters and memberships, paying one
+	// 2·ceil(log2 n)-round collective agreement instead of the full helper
+	// family / hash-broadcast setup on a hit. See SessionCache.
+	Cache *SessionCache
 }
 
 func (p Params) withDefaults() Params {
@@ -105,6 +110,21 @@ func (p Params) withDefaults() Params {
 		p.HashKFactor = 3
 	}
 	return p
+}
+
+// derivedMus resolves the helper-family sizes µ_S and µ_R from the
+// instance parameters, honoring the overrides (shared by every session
+// construction path, goroutine and machine, cached and not).
+func derivedMus(p Params, kS, kR int, pS, pR float64) (muS, muR int) {
+	muS = p.MuS
+	if muS <= 0 {
+		muS = mu(kS, pS)
+	}
+	muR = p.MuR
+	if muR <= 0 {
+		muR = mu(kR, pR)
+	}
+	return muS, muR
 }
 
 // mu computes floor(min(sqrt(k), 1/p)), clamped to >= 1 (Algorithm 2).
@@ -205,16 +225,18 @@ func NewSession(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, params 
 	if n > 1<<14 {
 		panic(fmt.Errorf("routing: n = %d exceeds the 2^14 node-ID limit of the label keying (Label.pack)", n))
 	}
-	logN := sim.Log2Ceil(n)
+	muS, muR := derivedMus(p, kS, kR, pS, pR)
+	if p.Cache != nil {
+		return p.Cache.session(env, inS, inR, keyOf(p, kS, kR, pS, pR, muS, muR), muS, muR, p)
+	}
+	return buildSession(env, inS, inR, muS, muR, p)
+}
 
-	muS := p.MuS
-	if muS <= 0 {
-		muS = mu(kS, pS)
-	}
-	muR := p.MuR
-	if muR <= 0 {
-		muR = mu(kR, pR)
-	}
+// buildSession is the uncached session construction: Algorithm 1 twice,
+// the hash-seed broadcast, and the cluster-local helper announcements.
+func buildSession(env *sim.Env, inS, inR bool, muS, muR int, p Params) *Session {
+	n := env.N()
+	logN := sim.Log2Ceil(n)
 
 	// Helper families for senders and receivers (Algorithm 1 twice).
 	resS := helpers.Compute(env, inS, muS, p.Helpers)
@@ -259,6 +281,21 @@ func NewSession(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, params 
 func Route(env *sim.Env, spec Spec, params Params) []Token {
 	s := NewSession(env, spec.InS, spec.InR, spec.KS, spec.KR, spec.PS, spec.PR, params)
 	return s.Route(spec.Send, spec.Expect)
+}
+
+// Pipeline returns the Theorem 2.2 protocol as a sim.Pipeline: specs[v] is
+// node v's view of the instance, and the per-node result is the node's
+// received tokens. The machine form is NewRouteProgram, so the pipeline is
+// step-native on every engine.
+func Pipeline(specs []Spec, params Params) sim.Pipeline[[]Token] {
+	return sim.Pipeline[[]Token]{
+		Run: func(env *sim.Env) []Token {
+			return Route(env, specs[env.ID()], params)
+		},
+		Machine: func(env *sim.Env, done func([]Token)) sim.StepProgram {
+			return NewRouteProgram(env, specs[env.ID()], params, done)
+		},
+	}
 }
 
 // Route runs one routing instance over the session's helper families:

@@ -30,31 +30,62 @@ type SessionMachine struct {
 
 // NewSessionMachine builds the collective session machine; all nodes must
 // start it in the same round and agree on kS, kR, pS, pR and params,
-// exactly like NewSession.
+// exactly like NewSession. With params.Cache set it is the step form of
+// the cached construction: the collective agreement aggregation, then
+// either a zero-round bind or the full build (re-populating the cache) —
+// the same rounds, messages, and branch as the goroutine form.
 func NewSessionMachine(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, params Params) *SessionMachine {
 	p := params.withDefaults()
 	n := env.N()
 	if n > 1<<14 {
 		panic(fmt.Errorf("routing: n = %d exceeds the 2^14 node-ID limit of the label keying (Label.pack)", n))
 	}
-	logN := sim.Log2Ceil(n)
+	muS, muR := derivedMus(p, kS, kR, pS, pR)
+	m := &SessionMachine{}
+	if p.Cache == nil {
+		m.prog = newBuildSessionProg(env, m, inS, inR, muS, muR, p)
+		return m
+	}
+	key := keyOf(p, kS, kR, pS, pR, muS, muR)
+	entry := p.Cache.lookup(key)
+	var agg *ncc.AggregateMachine
+	inner := &SessionMachine{}
+	m.prog = sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			agg = ncc.NewAggregateMachine(env, entry.mismatch(env.ID(), inS, inR), ncc.AggMax)
+			return agg
+		},
+		func(env *sim.Env) sim.StepProgram {
+			if agg.Out == 0 {
+				return nil
+			}
+			inner.prog = newBuildSessionProg(env, inner, inS, inR, muS, muR, p)
+			return inner
+		},
+		sim.Finish(func(env *sim.Env) {
+			if agg.Out == 0 {
+				m.Out = entry.bind(env, muS, muR, p)
+				return
+			}
+			p.Cache.shared(env, key).store(env.ID(), inS, inR, inner.Out)
+			m.Out = inner.Out
+		}),
+	)
+	return m
+}
 
-	muS := p.MuS
-	if muS <= 0 {
-		muS = mu(kS, pS)
-	}
-	muR := p.MuR
-	if muR <= 0 {
-		muR = mu(kR, pR)
-	}
+// newBuildSessionProg is the uncached session-construction machine,
+// writing the finished session to m.Out (the step twin of buildSession).
+func newBuildSessionProg(env *sim.Env, m *SessionMachine, inS, inR bool, muS, muR int, p Params) sim.StepProgram {
+	n := env.N()
+	logN := sim.Log2Ceil(n)
 	kHash := p.HashKFactor * logN
 
-	m := &SessionMachine{}
 	s := &Session{env: env, params: p}
 	var helpS, helpR *helpers.Machine
 	var bw *ncc.BroadcastWordsMachine
 	var annS, annR *announceMachine
-	m.prog = sim.Sequence(
+	return sim.Sequence(
 		// Helper families for senders and receivers (Algorithm 1 twice).
 		func(env *sim.Env) sim.StepProgram {
 			helpS = helpers.NewMachine(env, inS, muS, p.Helpers)
@@ -102,7 +133,6 @@ func NewSessionMachine(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, 
 			m.Out = s
 		}),
 	)
-	return m
 }
 
 // Step implements sim.StepProgram.

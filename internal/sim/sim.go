@@ -66,6 +66,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -194,6 +195,23 @@ type Config struct {
 	// engine counts global messages and bits crossing the cut; the
 	// lower-bound experiments (E8, E9) read these counters.
 	Cut []bool
+
+	// Ctx, if non-nil, cancels the run cooperatively: every engine checks
+	// it at each round boundary and aborts with an error wrapping
+	// ctx.Err(), so errors.Is(err, context.Canceled) (or DeadlineExceeded)
+	// holds for the returned error. Node programs never observe the
+	// context; they are unwound through the engines' abort path.
+	Ctx context.Context
+
+	// OnRound, if non-nil, is invoked once per completed round barrier,
+	// after delivery, with the number of rounds completed so far. It runs
+	// on the engine's coordinator (never on a node goroutine) on every
+	// engine, so it must be fast and must not call back into the run.
+	// The final generation that retires the last nodes also ticks, so the
+	// last value may exceed the returned Metrics.Rounds by one, and the
+	// hook may still fire for the generation in which a run failed
+	// (MaxRounds, cancellation, model violation).
+	OnRound func(round int)
 }
 
 // DefaultMaxRounds bounds runaway executions.
@@ -243,6 +261,20 @@ var errAbort = errors.New("sim: run aborted")
 // ErrTooManyRounds is wrapped in the Run error when MaxRounds is hit.
 var ErrTooManyRounds = errors.New("sim: exceeded MaxRounds")
 
+// roundBoundary runs the engine-independent per-round instrumentation: the
+// progress hook and the cooperative cancellation check. Every engine calls
+// it exactly once per completed round barrier, after delivery.
+func (e *engine) roundBoundary() {
+	if e.cfg.OnRound != nil {
+		e.cfg.OnRound(e.generation)
+	}
+	if ctx := e.cfg.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.fail(fmt.Errorf("sim: run cancelled in round %d: %w", e.generation, err))
+		}
+	}
+}
+
 type engine struct {
 	g       *graph.Graph
 	cfg     Config
@@ -279,6 +311,7 @@ type engine struct {
 	// Step-engine state (nil unless EngineStep); see step.go.
 	stepMode bool
 	progs    []StepProgram
+	adGroups []*adapterGroup // per-shard adapter multiplexers, nil entries for all-native shards
 }
 
 // Env is a node's handle to the engine. All methods must be called only
@@ -448,6 +481,7 @@ func (e *engine) coordinate() {
 		if e.generation >= e.cfg.MaxRounds {
 			e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
 		}
+		e.roundBoundary()
 		if active == 0 {
 			// Release any stragglers (none should exist) and stop.
 			e.swapRelease()

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -206,14 +207,28 @@ func AsProgram(factory StepFactory) Program {
 	}
 }
 
+// adapterBuilds counts programAdapter constructions — legacy Programs
+// falling back to the goroutine-backed compatibility path under the step
+// engine. The facade's step-nativeness test reads it to assert that no
+// public algorithm silently regresses onto the adapter.
+var adapterBuilds atomic.Int64
+
+// AdapterBuilds reports how many legacy Programs have been wrapped for the
+// step engine since process start. A step-native pipeline run on
+// EngineStep must not advance it.
+func AdapterBuilds() int64 { return adapterBuilds.Load() }
+
 // AdaptProgram converts a legacy Program into a StepFactory backed by one
 // goroutine per node: the program keeps its blocking style, parking in
 // Env.Step until the engine loop's next round. This is the compatibility
 // path that keeps un-ported algorithms running on EngineStep — correct and
-// byte-identical, but it reintroduces the wake/park cost the step-native
-// ports avoid.
+// byte-identical, but it reintroduces the per-node wake/park cost the
+// step-native ports avoid. Top-level adapted programs are driven by a
+// per-shard multiplexer (see adapterGroup); adapters nested inside
+// composite machines fall back to the per-node channel protocol.
 func AdaptProgram(program Program) StepFactory {
 	return func(env *Env) StepProgram {
+		adapterBuilds.Add(1)
 		return &programAdapter{
 			program: program,
 			resume:  make(chan struct{}, 1),
@@ -222,15 +237,84 @@ func AdaptProgram(program Program) StepFactory {
 	}
 }
 
-// programAdapter runs a blocking Program under the step engine. The
-// protocol strictly alternates (engine resumes, program yields), and both
-// channels are buffered so neither side can block the other during
-// shutdown.
+// programAdapter runs a blocking Program under the step engine. In the
+// per-node protocol (adapters nested inside composite machines) the
+// engine's Step call and the program strictly alternate over the
+// resume/yield channels, both buffered so neither side can block the other
+// during shutdown. Top-level adapters are instead driven collectively by
+// their shard's adapterGroup: group is set at registration and switches
+// await/run to the broadcast-wake protocol.
 type programAdapter struct {
-	program Program
+	program  Program
+	started  bool
+	returned bool // program returned; its goroutine is gone (per-node protocol)
+	resume   chan struct{}
+	yield    chan bool // false: round segment done; true: program returned
+	group    *adapterGroup
+}
+
+// adapterGroup drives all top-level adapted Programs of one shard with one
+// broadcast wake per round instead of two channel handoffs per node: the
+// shard worker swaps-and-closes the group's release channel, waking every
+// parked program at once, and the last member to finish its round segment
+// signals done. The members' round segments therefore run concurrently —
+// exactly as the goroutine engines run all programs concurrently, so any
+// program correct there is correct here — while the shard worker steps its
+// native machines inline and then waits for the group.
+type adapterGroup struct {
+	members []*Env // envs of this shard's adapted programs
 	started bool
-	resume  chan struct{}
-	yield   chan bool // false: round segment done; true: program returned
+	release atomic.Value  // chan struct{}; closed to wake the group
+	pending atomic.Int32  // members still to arrive this round
+	done    chan struct{} // cap 1; signaled by the last arrival
+}
+
+func newAdapterGroup() *adapterGroup {
+	g := &adapterGroup{done: make(chan struct{}, 1)}
+	g.release.Store(make(chan struct{}))
+	return g
+}
+
+// arrive reports one member's round segment finished (or its program
+// returned, or unwound after an abort); the last arrival wakes the engine.
+func (g *adapterGroup) arrive() {
+	if g.pending.Add(-1) == 0 {
+		g.done <- struct{}{}
+	}
+}
+
+// wake releases every member parked in await. The members loaded the old
+// release channel before arriving last round, so closing it wakes exactly
+// the parked generation; the swap happens before the close, so a waking
+// member always parks on the new channel next.
+func (g *adapterGroup) wake() {
+	old := g.release.Load().(chan struct{})
+	g.release.Store(make(chan struct{}))
+	close(old)
+}
+
+// initAdapterGroups partitions top-level adapted Programs into per-shard
+// groups. Runs once, after the machines are built and before round 0.
+func (e *engine) initAdapterGroups() {
+	for i, sp := range e.progs {
+		a, ok := sp.(*programAdapter)
+		if !ok || e.envs[i].finished {
+			continue
+		}
+		if e.adGroups == nil {
+			e.adGroups = make([]*adapterGroup, e.nShards)
+		}
+		k := e.shardOf(i)
+		g := e.adGroups[k]
+		if g == nil {
+			g = newAdapterGroup()
+			e.adGroups[k] = g
+		}
+		env := e.envs[i]
+		a.group = g
+		env.adapter = a
+		g.members = append(g.members, env)
+	}
 }
 
 // Step implements StepProgram: resume the program goroutine (starting it on
@@ -243,17 +327,27 @@ func (a *programAdapter) Step(env *Env) bool {
 	} else {
 		a.resume <- struct{}{}
 	}
-	return <-a.yield
+	done := <-a.yield
+	if done {
+		a.returned = true
+	}
+	return done
 }
 
 // run executes the program on its own goroutine, mirroring the goroutine
-// engines' panic handling.
+// engines' panic handling. Group-driven members report completion to their
+// group; per-node adapters yield to the engine's Step call.
 func (a *programAdapter) run(env *Env) {
 	defer func() {
 		if r := recover(); r != nil {
 			if r != errAbort { //nolint:errorlint // sentinel identity check
 				env.eng.fail(fmt.Errorf("sim: node %d panicked: %v", env.id, r))
 			}
+		}
+		if a.group != nil {
+			env.finished = true
+			a.group.arrive()
+			return
 		}
 		a.yield <- true
 	}()
@@ -262,10 +356,22 @@ func (a *programAdapter) run(env *Env) {
 
 // await is the Env.Step implementation for adapted programs: yield the
 // round segment to the engine loop and park until the next round's inbox is
-// installed.
+// installed. Group-driven members arrive at the group barrier and park on
+// the shared release channel (loaded before arriving, exactly like the
+// goroutine engines' barrier); per-node adapters use the resume/yield
+// protocol.
 func (a *programAdapter) await(env *Env) Inbox {
 	if env.eng.aborted.Load() {
 		panic(errAbort)
+	}
+	if g := a.group; g != nil {
+		rel := g.release.Load().(chan struct{})
+		g.arrive()
+		<-rel
+		if env.eng.aborted.Load() {
+			panic(errAbort)
+		}
+		return env.curInbox
 	}
 	a.yield <- false
 	<-a.resume
@@ -304,6 +410,7 @@ func (e *engine) runStepLoop(factory StepFactory) {
 	for i, env := range e.envs {
 		e.progs[i] = e.buildProg(factory, env)
 	}
+	e.initAdapterGroups()
 	active := e.n
 	for {
 		e.stepGeneration()
@@ -311,6 +418,7 @@ func (e *engine) runStepLoop(factory StepFactory) {
 		if e.generation >= e.cfg.MaxRounds {
 			e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
 		}
+		e.roundBoundary()
 		if e.aborted.Load() {
 			e.releaseAdapters()
 			return
@@ -354,7 +462,9 @@ func (e *engine) stepGeneration() {
 // node's inbox for the generation being executed and call its machine.
 // Workers touch disjoint node state, and sends stage into per-sender
 // buckets, so concurrent shards need no locks (the same disjointness
-// argument as runShard).
+// argument as runShard). The shard's adapted programs, if any, are woken
+// first and run concurrently while the native machines are stepped inline;
+// the worker then waits for the group before returning.
 func (e *engine) stepShard(k int) {
 	lo := k * e.shardSize
 	hi := lo + e.shardSize
@@ -363,8 +473,45 @@ func (e *engine) stepShard(k int) {
 	}
 	gen := e.generation // deliveries completed so far
 	p := gen & 1
+	var g *adapterGroup
+	if e.adGroups != nil {
+		g = e.adGroups[k]
+	}
+	if g != nil {
+		active := int32(0)
+		for _, env := range g.members {
+			if env.finished {
+				continue
+			}
+			env.round = gen
+			if gen > 0 {
+				env.curInbox = Inbox{Local: env.inLocalBuf[p], Global: env.inGlobalBuf[p]}
+			} else {
+				env.curInbox = Inbox{}
+			}
+			active++
+		}
+		if active == 0 {
+			g = nil
+		} else {
+			g.pending.Store(active)
+			if !g.started {
+				g.started = true
+				for _, env := range g.members {
+					go env.adapter.run(env)
+				}
+			} else {
+				g.wake()
+			}
+		}
+	}
 	for v := lo; v < hi; v++ {
 		env := e.envs[v]
+		// Group members are skipped before their finished flag is read:
+		// their run goroutines may still be writing it this round.
+		if env.adapter != nil && env.adapter.group != nil {
+			continue
+		}
 		if env.finished {
 			continue
 		}
@@ -375,6 +522,9 @@ func (e *engine) stepShard(k int) {
 			env.curInbox = Inbox{}
 		}
 		e.stepNode(env, v)
+	}
+	if g != nil {
+		<-g.done
 	}
 }
 
@@ -397,13 +547,36 @@ func (e *engine) stepNode(env *Env, v int) {
 // after an abort, so they observe the abort flag and unwind. Native
 // machines hold no goroutines and need no cleanup.
 func (e *engine) releaseAdapters() {
-	for v, sp := range e.progs {
-		a, ok := sp.(*programAdapter)
-		if !ok || !a.started || e.envs[v].finished {
+	// Group-driven adapters: wake each group once; the parked members see
+	// the abort flag, unwind, and arrive through run's deferred handler.
+	for _, g := range e.adGroups {
+		if g == nil || !g.started {
+			continue
+		}
+		active := int32(0)
+		for _, env := range g.members {
+			if !env.finished {
+				active++
+			}
+		}
+		if active == 0 {
+			continue
+		}
+		g.pending.Store(active)
+		g.wake()
+		<-g.done
+	}
+	// Per-node adapters (nested inside composite machines): reachable only
+	// through env.adapter, which tracks the node's most recent adapter —
+	// earlier ones in a sequence have necessarily returned. A returned
+	// adapter's goroutine is gone; resuming it would block forever.
+	for _, env := range e.envs {
+		a := env.adapter
+		if a == nil || a.group != nil || !a.started || a.returned || env.finished {
 			continue
 		}
 		a.resume <- struct{}{}
 		<-a.yield
-		e.envs[v].finished = true
+		env.finished = true
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/graph"
@@ -391,3 +392,114 @@ func benchStepEngineRounds(b *testing.B, eng Engine, traffic bool) {
 // engine deletes.
 func BenchmarkEngineBarrierStep(b *testing.B) { benchStepEngineRounds(b, EngineStep, false) }
 func BenchmarkEngineTrafficStep(b *testing.B) { benchStepEngineRounds(b, EngineStep, true) }
+
+// TestAdapterGroupMixedNodes runs the chatter workload with half the nodes
+// adapted legacy Programs (driven by the per-shard adapter multiplexer)
+// and half native step machines, across several shard counts, against the
+// legacy engine as oracle. It pins the multiplexer's byte-identity on the
+// hardest layout: adapted and native nodes interleaved inside one shard.
+func TestAdapterGroupMixedNodes(t *testing.T) {
+	g := graph.Grid(9, 9)
+	oracle, oracleM := runChatter(t, g, Config{Seed: 42, Engine: EngineLegacy})
+	for _, shards := range []int{1, 3, 16} {
+		out := make([]int64, g.N())
+		adapted := AdaptProgram(chatterProgram(out))
+		m, err := RunStep(g, Config{Seed: 42, Engine: EngineStep, Shards: shards}, func(env *Env) StepProgram {
+			if env.ID()%2 == 0 {
+				return adapted(env)
+			}
+			return newStepChatter(env, out)
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(oracle, out) {
+			t.Errorf("shards=%d: mixed adapted/native results diverge from legacy oracle", shards)
+		}
+		if oracleM != m {
+			t.Errorf("shards=%d: metrics diverge: legacy %+v step %+v", shards, oracleM, m)
+		}
+	}
+}
+
+// TestAdapterGroupPanic pins the multiplexer's abort path: a panicking
+// adapted program must surface as a run error and unwind every parked
+// member of every group without deadlocking.
+func TestAdapterGroupPanic(t *testing.T) {
+	g := graph.Grid(6, 6)
+	_, err := Run(g, Config{Engine: EngineStep, Shards: 4}, func(env *Env) {
+		for r := 0; ; r++ {
+			if env.ID() == 13 && r == 3 {
+				panic("boom")
+			}
+			env.Step()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "node 13 panicked") {
+		t.Fatalf("err = %v, want node 13 panic", err)
+	}
+}
+
+// benchAdaptedEngineRounds measures legacy Programs under EngineStep. The
+// default path goes through the per-shard adapter multiplexer (one
+// broadcast wake per shard per round); perNode forces the pre-multiplexer
+// per-node channel protocol by nesting the adapter inside a composite
+// machine, so the pair isolates the multiplexer's win.
+func benchAdaptedEngineRounds(b *testing.B, perNode, traffic bool) {
+	g := graph.Grid(32, 32)
+	program := func(env *Env) {
+		for r := 0; r < 200; r++ {
+			if traffic {
+				env.BroadcastLocal(r)
+				env.SendGlobal((env.ID()+r)%env.N(), 0, 1, 2, 3, 4)
+			}
+			env.Step()
+		}
+	}
+	factory := AdaptProgram(program)
+	if perNode {
+		inner := factory
+		factory = func(env *Env) StepProgram {
+			return Sequence(func(env *Env) StepProgram { return inner(env) })
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunStep(g, Config{Engine: EngineStep}, factory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBarrierAdapted(b *testing.B) { benchAdaptedEngineRounds(b, false, false) }
+func BenchmarkEngineTrafficAdapted(b *testing.B) { benchAdaptedEngineRounds(b, false, true) }
+func BenchmarkEngineBarrierAdapterPerNode(b *testing.B) {
+	benchAdaptedEngineRounds(b, true, false)
+}
+func BenchmarkEngineTrafficAdapterPerNode(b *testing.B) {
+	benchAdaptedEngineRounds(b, true, true)
+}
+
+// TestNestedAdapterAbortReleases pins the abort path for adapters nested
+// inside composite machines (the per-node protocol): an aborting run must
+// wake every parked nested program so its goroutine unwinds, instead of
+// leaking it parked in Env.Step forever.
+func TestNestedAdapterAbortReleases(t *testing.T) {
+	g := graph.Grid(4, 4)
+	var unwound atomic.Int32
+	inner := AdaptProgram(func(env *Env) {
+		defer unwound.Add(1)
+		for {
+			env.Step() // never finishes; only the abort unwinds it
+		}
+	})
+	_, err := RunStep(g, Config{Engine: EngineStep, MaxRounds: 20}, func(env *Env) StepProgram {
+		return Sequence(func(env *Env) StepProgram { return inner(env) })
+	})
+	if !errors.Is(err, ErrTooManyRounds) {
+		t.Fatalf("err = %v, want ErrTooManyRounds", err)
+	}
+	if got := unwound.Load(); got != int32(g.N()) {
+		t.Fatalf("%d of %d nested adapted programs unwound after abort", got, g.N())
+	}
+}

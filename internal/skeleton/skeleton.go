@@ -165,6 +165,12 @@ func ComputeRepresentatives(env *sim.Env, skel Result, isSource bool, kBound int
 		mine = append(mine, ncc.Token{A: int64(env.ID()), B: int64(rep), C: dist})
 	}
 	all := ncc.Disseminate(env, mine, kBound, 1, ncc.DisseminateParams{})
+	return repsFromTokens(all)
+}
+
+// repsFromTokens decodes and sorts the disseminated representative triples
+// (the local tail of Algorithm 7, shared with the step form).
+func repsFromTokens(all []ncc.Token) []RepInfo {
 	out := make([]RepInfo, 0, len(all))
 	for _, t := range all {
 		out = append(out, RepInfo{Source: int(t.A), Rep: int(t.B), Dist: t.C})

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/ncc"
 	"repro/internal/sim"
 )
 
@@ -190,6 +191,43 @@ func NewComputeMachine(env *sim.Env, p Params, forceInclude bool) *ComputeMachin
 
 // Step implements sim.StepProgram.
 func (m *ComputeMachine) Step(env *sim.Env) bool { return m.prog.Step(env) }
+
+// RepresentativesMachine is the step form of ComputeRepresentatives
+// (Algorithm 7): every source tags its closest skeleton node and the
+// triples become public knowledge by token dissemination.
+type RepresentativesMachine struct {
+	// Out is the public (source, rep, d_h) list, sorted by source; valid
+	// once Step returned true.
+	Out []RepInfo
+
+	prog sim.StepProgram
+}
+
+// NewRepresentativesMachine builds the collective Algorithm 7 machine; all
+// nodes must start it in the same round with the same kBound, exactly like
+// ComputeRepresentatives.
+func NewRepresentativesMachine(env *sim.Env, skel Result, isSource bool, kBound int) *RepresentativesMachine {
+	m := &RepresentativesMachine{}
+	var mine []ncc.Token
+	if isSource {
+		rep, dist := closestSkeleton(env.ID(), skel)
+		mine = append(mine, ncc.Token{A: int64(env.ID()), B: int64(rep), C: dist})
+	}
+	var diss *ncc.DisseminateMachine
+	m.prog = sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			diss = ncc.NewDisseminateMachine(env, mine, kBound, 1, ncc.DisseminateParams{})
+			return diss
+		},
+		sim.Finish(func(env *sim.Env) {
+			m.Out = repsFromTokens(diss.Out)
+		}),
+	)
+	return m
+}
+
+// Step implements sim.StepProgram.
+func (m *RepresentativesMachine) Step(env *sim.Env) bool { return m.prog.Step(env) }
 
 // distUpdates is the local-mode payload of the Bellman-Ford wave: a batch
 // of distance updates.
