@@ -8,11 +8,22 @@
 //	hybridsim -graph path -n 200 -algo sssp -source 0
 //	hybridsim -graph sparse -n 144 -algo diameter -variant cor53
 //	hybridsim -graph geometric -n 150 -algo kssp -k 5 -variant cor46
+//	hybridsim -graph grid -n 1024 -algo apsp -engine step -cache-dir .hybcache
+//
+// With -cache-dir the run warm-starts from (and re-saves) the persistent
+// warm-start cache: a second invocation with the same graph, seed, and
+// parameters skips routing session and skeleton construction entirely. A
+// corrupt or incompatible cache file is rejected with a warning and the run
+// proceeds cold. -timeout bounds the run's wall clock; -progress n prints a
+// live round ticker to stderr every n rounds.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -20,22 +31,44 @@ import (
 )
 
 func main() {
-	graphKind := flag.String("graph", "grid", "graph: grid|path|cycle|sparse|geometric|barbell")
-	n := flag.Int("n", 100, "number of nodes")
-	algo := flag.String("algo", "apsp", "algorithm: apsp|apsp-baseline|sssp|kssp|diameter")
-	variant := flag.String("variant", "cor52", "variant for kssp (cor46|cor47|cor48|mm) / diameter (cor52|cor53|mm)")
-	source := flag.Int("source", 0, "source node for sssp")
-	k := flag.Int("k", 3, "number of sources for kssp")
-	eps := flag.Float64("eps", 0.5, "epsilon for approximation variants")
-	seed := flag.Int64("seed", 1, "random seed")
-	maxW := flag.Int64("maxw", 1, "max edge weight (1 = unweighted)")
-	engine := flag.String("engine", "sharded", "round engine: sharded|step|legacy")
-	verify := flag.Bool("verify", true, "check results against sequential ground truth")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind flag parsing; factored from main so the
+// CLI-level tests can drive it in-process (exit codes, output, cancelled
+// runs) without building a binary.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	graphKind := fs.String("graph", "grid", "graph: grid|path|cycle|tree|sparse|geometric|barbell")
+	n := fs.Int("n", 100, "number of nodes")
+	algo := fs.String("algo", "apsp", "algorithm: apsp|apsp-baseline|sssp|kssp|diameter")
+	variant := fs.String("variant", "cor52", "variant for kssp (cor46|cor47|cor48|mm) / diameter (cor52|cor53|mm)")
+	source := fs.Int("source", 0, "source node for sssp")
+	k := fs.Int("k", 3, "number of sources for kssp")
+	eps := fs.Float64("eps", 0.5, "epsilon for approximation variants")
+	seed := fs.Int64("seed", 1, "random seed")
+	maxW := fs.Int64("maxw", 1, "max edge weight (1 = unweighted)")
+	engine := fs.String("engine", "sharded", "round engine: sharded|step|legacy")
+	verify := fs.Bool("verify", true, "check results against sequential ground truth")
+	cacheDir := fs.String("cache-dir", "", "directory for the persistent warm-start cache (load before the run, save after)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
+	progress := fs.Int("progress", 0, "print a live round ticker to stderr every n rounds (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *eps <= 0 {
 		// The spec constructors default ε themselves, but the mm variants
 		// derive η = 1/ε here, so the defaulting must happen first.
 		*eps = 0.5
+	}
+
+	fatalf := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, format+"\n", a...)
+		return 1
 	}
 
 	var eng hybrid.Engine
@@ -47,7 +80,7 @@ func main() {
 	case "legacy":
 		eng = hybrid.EngineLegacy
 	default:
-		fatalf("unknown engine %q", *engine)
+		return fatalf("unknown engine %q", *engine)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -63,6 +96,8 @@ func main() {
 		g = hybrid.PathGraph(*n)
 	case "cycle":
 		g = hybrid.CycleGraph(*n)
+	case "tree":
+		g = hybrid.RandomTreeGraph(*n, rng)
 	case "sparse":
 		g = hybrid.SparseGraph(*n, 1.2, rng)
 	case "geometric":
@@ -70,15 +105,48 @@ func main() {
 	case "barbell":
 		g = hybrid.BarbellGraph(*n/3, *n/3)
 	default:
-		fatalf("unknown graph kind %q", *graphKind)
+		return fatalf("unknown graph kind %q", *graphKind)
 	}
 	if *maxW > 1 {
 		g = hybrid.WithRandomWeights(g, *maxW, rng)
 	}
-	fmt.Printf("graph: %s, n=%d, m=%d, hop diameter=%d, engine=%s\n",
+	fmt.Fprintf(stdout, "graph: %s, n=%d, m=%d, hop diameter=%d, engine=%s\n",
 		*graphKind, g.N(), g.M(), hybrid.HopDiameter(g), eng)
 
-	net := hybrid.New(g, hybrid.WithSeed(*seed), hybrid.WithEngine(eng))
+	opts := []hybrid.Option{hybrid.WithSeed(*seed), hybrid.WithEngine(eng)}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = append(opts, hybrid.WithContext(ctx))
+	}
+	if *progress > 0 {
+		every := *progress
+		opts = append(opts, hybrid.WithProgress(func(round int) {
+			if round%every == 0 {
+				fmt.Fprintf(stderr, "round %d\n", round)
+			}
+		}))
+	}
+	if *cacheDir != "" {
+		opts = append(opts, hybrid.WithCacheDir(*cacheDir))
+	}
+
+	net := hybrid.New(g, opts...)
+	if *cacheDir != "" {
+		if loaded, err := net.LoadCache(); err != nil {
+			fmt.Fprintf(stderr, "warning: %v (starting cold)\n", err)
+		} else if loaded {
+			fmt.Fprintf(stderr, "warm start: loaded %s\n", net.CachePath())
+		}
+	}
+
+	check := func(err error) int {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return fatalf("run cancelled: %v", err)
+		}
+		return fatalf("%v", err)
+	}
+
 	switch *algo {
 	case "apsp", "apsp-baseline":
 		var res *hybrid.APSPResult
@@ -88,14 +156,18 @@ func main() {
 		} else {
 			res, err = net.APSPBaseline()
 		}
-		check(err)
-		if *verify {
-			verifyAPSP(g, res)
+		if err != nil {
+			return check(err)
 		}
-		printMetrics(res.Metrics)
+		if *verify {
+			verifyAPSP(stdout, g, res)
+		}
+		printMetrics(stdout, res.Metrics)
 	case "sssp":
 		res, err := net.SSSP(*source)
-		check(err)
+		if err != nil {
+			return check(err)
+		}
 		if *verify {
 			want := hybrid.Dijkstra(g, *source)
 			bad := 0
@@ -104,9 +176,9 @@ func main() {
 					bad++
 				}
 			}
-			fmt.Printf("sssp from %d: %d/%d distances exact\n", *source, g.N()-bad, g.N())
+			fmt.Fprintf(stdout, "sssp from %d: %d/%d distances exact\n", *source, g.N()-bad, g.N())
 		}
-		printMetrics(res.Metrics)
+		printMetrics(stdout, res.Metrics)
 	case "kssp":
 		sources := make([]int, 0, *k)
 		for len(sources) < *k {
@@ -118,11 +190,13 @@ func main() {
 		}
 		spec, ok := specs[*variant]
 		if !ok {
-			fatalf("unknown kssp variant %q", *variant)
+			return fatalf("unknown kssp variant %q", *variant)
 		}
 		res, err := net.KSSP(sources, spec)
-		check(err)
-		fmt.Printf("algorithm: %s — %s\n", res.Algorithm, res.Guarantee)
+		if err != nil {
+			return check(err)
+		}
+		fmt.Fprintf(stdout, "algorithm: %s — %s\n", res.Algorithm, res.Guarantee)
 		if *verify {
 			worst := 1.0
 			for _, s := range sources {
@@ -135,33 +209,44 @@ func main() {
 					}
 				}
 			}
-			fmt.Printf("kssp %s with k=%d: worst approximation ratio %.3f\n", *variant, *k, worst)
+			fmt.Fprintf(stdout, "kssp %s with k=%d: worst approximation ratio %.3f\n", *variant, *k, worst)
 		}
-		printMetrics(res.Metrics)
+		printMetrics(stdout, res.Metrics)
 	case "diameter":
 		specs := map[string]hybrid.DiameterSpec{
 			"cor52": hybrid.DiamCor52(*eps), "cor53": hybrid.DiamCor53(*eps), "mm": hybrid.DiamRealMM(1 / *eps),
 		}
 		spec, ok := specs[*variant]
 		if !ok {
-			fatalf("unknown diameter variant %q", *variant)
+			return fatalf("unknown diameter variant %q", *variant)
 		}
 		res, err := net.Diameter(spec)
-		check(err)
-		fmt.Printf("algorithm: %s — %s\n", res.Algorithm, res.Guarantee)
+		if err != nil {
+			return check(err)
+		}
+		fmt.Fprintf(stdout, "algorithm: %s — %s\n", res.Algorithm, res.Guarantee)
 		if *verify {
 			d := hybrid.HopDiameter(g)
-			fmt.Printf("diameter %s: estimate %d, true %d, ratio %.3f\n", *variant, res.Estimate, d, float64(res.Estimate)/float64(d))
+			fmt.Fprintf(stdout, "diameter %s: estimate %d, true %d, ratio %.3f\n", *variant, res.Estimate, d, float64(res.Estimate)/float64(d))
 		} else {
-			fmt.Printf("diameter %s: estimate %d\n", *variant, res.Estimate)
+			fmt.Fprintf(stdout, "diameter %s: estimate %d\n", *variant, res.Estimate)
 		}
-		printMetrics(res.Metrics)
+		printMetrics(stdout, res.Metrics)
 	default:
-		fatalf("unknown algorithm %q", *algo)
+		return fatalf("unknown algorithm %q", *algo)
 	}
+
+	if *cacheDir != "" {
+		if err := net.SaveCache(); err != nil {
+			fmt.Fprintf(stderr, "warning: saving warm-start cache: %v\n", err)
+		} else {
+			fmt.Fprintf(stderr, "saved warm-start cache: %s\n", net.CachePath())
+		}
+	}
+	return 0
 }
 
-func verifyAPSP(g *hybrid.Graph, res *hybrid.APSPResult) {
+func verifyAPSP(w io.Writer, g *hybrid.Graph, res *hybrid.APSPResult) {
 	want := hybrid.ExactAPSP(g)
 	bad := 0
 	for u := 0; u < g.N(); u++ {
@@ -171,21 +256,10 @@ func verifyAPSP(g *hybrid.Graph, res *hybrid.APSPResult) {
 			}
 		}
 	}
-	fmt.Printf("apsp: %d/%d pair distances exact\n", g.N()*g.N()-bad, g.N()*g.N())
+	fmt.Fprintf(w, "apsp: %d/%d pair distances exact\n", g.N()*g.N()-bad, g.N()*g.N())
 }
 
-func printMetrics(m hybrid.Metrics) {
-	fmt.Printf("rounds=%d globalMsgs=%d globalBits=%d localMsgs=%d localBits=%d maxSend=%d maxRecv=%d\n",
+func printMetrics(w io.Writer, m hybrid.Metrics) {
+	fmt.Fprintf(w, "rounds=%d globalMsgs=%d globalBits=%d localMsgs=%d localBits=%d maxSend=%d maxRecv=%d\n",
 		m.Rounds, m.GlobalMsgs, m.GlobalBits, m.LocalMsgs, m.LocalBits, m.MaxGlobalSend, m.MaxGlobalRecv)
-}
-
-func check(err error) {
-	if err != nil {
-		fatalf("%v", err)
-	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
 }

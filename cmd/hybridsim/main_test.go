@@ -1,0 +1,174 @@
+// CLI-level tests: run() is driven in-process with captured output, so the
+// exit codes and messages of the cancelled-run, warm-start, and
+// corrupt-cache paths are pinned without building a binary.
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with captured stdout/stderr.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+var roundsRe = regexp.MustCompile(`(?m)^rounds=(\d+) `)
+
+func roundsOf(t *testing.T, stdout string) int {
+	t.Helper()
+	m := roundsRe.FindStringSubmatch(stdout)
+	if m == nil {
+		t.Fatalf("no rounds= line in output:\n%s", stdout)
+	}
+	r, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatalf("rounds %q: %v", m[1], err)
+	}
+	return r
+}
+
+func TestRunHappyPath(t *testing.T) {
+	code, stdout, stderr := runCLI("-graph", "grid", "-n", "49", "-algo", "apsp", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "apsp: 2401/2401 pair distances exact") {
+		t.Errorf("missing exactness line:\n%s", stdout)
+	}
+	roundsOf(t, stdout)
+}
+
+// TestRunTimeoutCancels pins the cancelled-run exit path: a run bounded by
+// an unmeetable -timeout must exit non-zero with a cancellation message,
+// not hang and not report results.
+func TestRunTimeoutCancels(t *testing.T) {
+	code, stdout, stderr := runCLI("-graph", "grid", "-n", "1024", "-algo", "apsp",
+		"-engine", "step", "-timeout", "30ms", "-verify=false")
+	if code == 0 {
+		t.Fatalf("cancelled run exited 0; stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "run cancelled") || !strings.Contains(stderr, "deadline") {
+		t.Errorf("stderr does not report the cancellation:\n%s", stderr)
+	}
+	if strings.Contains(stdout, "rounds=") {
+		t.Errorf("cancelled run printed metrics:\n%s", stdout)
+	}
+}
+
+// TestRunProgressTicker pins the -progress round ticker: a bounded run must
+// emit periodic round lines on stderr.
+func TestRunProgressTicker(t *testing.T) {
+	code, _, stderr := runCLI("-graph", "grid", "-n", "49", "-algo", "apsp",
+		"-progress", "200", "-verify=false")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "round 200\n") {
+		t.Errorf("no round ticker on stderr:\n%s", stderr)
+	}
+}
+
+// TestRunWarmStartCLI runs the same instance twice against one -cache-dir:
+// the second run must announce the warm start, report strictly fewer
+// rounds, and still verify exactly.
+func TestRunWarmStartCLI(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-graph", "grid", "-n", "100", "-algo", "apsp", "-seed", "3", "-cache-dir", dir}
+
+	code, coldOut, coldErr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("cold exit %d, stderr:\n%s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "saved warm-start cache") {
+		t.Errorf("cold run did not save the cache:\n%s", coldErr)
+	}
+
+	code, warmOut, warmErr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("warm exit %d, stderr:\n%s", code, warmErr)
+	}
+	if !strings.Contains(warmErr, "warm start: loaded") {
+		t.Errorf("warm run did not load the cache:\n%s", warmErr)
+	}
+	if !strings.Contains(warmOut, "apsp: 10000/10000 pair distances exact") {
+		t.Errorf("warm run not exact:\n%s", warmOut)
+	}
+	coldRounds, warmRounds := roundsOf(t, coldOut), roundsOf(t, warmOut)
+	if warmRounds >= coldRounds {
+		t.Errorf("warm run did not reduce rounds: cold %d, warm %d", coldRounds, warmRounds)
+	}
+}
+
+// TestRunCorruptCacheFallsBack corrupts the saved cache file in place: the
+// rerun must warn, fall back to a cold start, still succeed, and overwrite
+// the bad file with a fresh one that warms the next run.
+func TestRunCorruptCacheFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-graph", "grid", "-n", "100", "-algo", "apsp", "-seed", "3", "-cache-dir", dir}
+	if code, _, stderr := runCLI(args...); code != 0 {
+		t.Fatalf("cold exit %d, stderr:\n%s", code, stderr)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.hybc"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files: %v, %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("run after corruption exited %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "warning:") || !strings.Contains(stderr, "starting cold") {
+		t.Errorf("no rejection warning on stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "apsp: 10000/10000 pair distances exact") {
+		t.Errorf("cold fallback not exact:\n%s", stdout)
+	}
+	// The run re-saved a good file: the next invocation warm-starts again.
+	if _, _, stderr := runCLI(args...); !strings.Contains(stderr, "warm start: loaded") {
+		t.Errorf("cache was not repaired by the fallback run:\n%s", stderr)
+	}
+}
+
+// TestRunBadFlags pins the error exits for unknown enum-ish flag values.
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-engine", "warp"},
+		{"-graph", "torus"},
+		{"-algo", "mst"},
+		{"-algo", "kssp", "-variant", "cor99"},
+		{"-algo", "diameter", "-variant", "cor99"},
+		{"-not-a-flag"},
+	} {
+		if code, _, _ := runCLI(args...); code == 0 {
+			t.Errorf("args %v exited 0", args)
+		}
+	}
+}
+
+// TestRunTreeGraph smokes the tree generator through the CLI (it feeds the
+// randomized harness and is part of the documented -graph values).
+func TestRunTreeGraph(t *testing.T) {
+	code, stdout, stderr := runCLI("-graph", "tree", "-n", "40", "-algo", "sssp", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "sssp from 0: 40/40 distances exact") {
+		t.Errorf("tree sssp not exact:\n%s", stdout)
+	}
+}

@@ -41,6 +41,11 @@ func CompleteGraph(n int) *Graph { return graph.Complete(n) }
 // GNPGraph returns a connected Erdős–Rényi graph (spanning tree overlaid).
 func GNPGraph(n int, p float64, rng *rand.Rand) *Graph { return graph.GNP(n, p, rng) }
 
+// RandomTreeGraph returns a random-attachment tree on n nodes (each node
+// i > 0 attaches to a uniform earlier node) — the sparsest connected
+// topology, a useful stress case for cluster formation and flooding.
+func RandomTreeGraph(n int, rng *rand.Rand) *Graph { return graph.RandomTree(n, rng) }
+
 // SparseGraph returns a connected sparse random graph with about
 // extraFraction*n non-tree edges.
 func SparseGraph(n int, extraFraction float64, rng *rand.Rand) *Graph {

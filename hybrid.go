@@ -51,14 +51,18 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 
 	"repro/internal/clique"
 	"repro/internal/diameter"
 	"repro/internal/graph"
 	"repro/internal/hybridapsp"
 	"repro/internal/kssp"
+	"repro/internal/persist"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/skeleton"
 )
 
 // Metrics is the per-run cost report (rounds, message counts, peak loads).
@@ -92,9 +96,11 @@ const (
 // Network must be sequential; create separate Networks for concurrent
 // workloads.
 type Network struct {
-	g        *graph.Graph
-	cfg      sim.Config
-	sessions *routing.SessionCache
+	g         *graph.Graph
+	cfg       sim.Config
+	sessions  *routing.SessionCache
+	skeletons *skeleton.ResultCache
+	cacheDir  string
 }
 
 // Option configures a Network.
@@ -150,11 +156,33 @@ func WithProgress(fn func(round int)) Option {
 	return func(nw *Network) { nw.cfg.OnRound = fn }
 }
 
+// WithCacheDir selects the directory used by SaveCache/LoadCache for the
+// persistent warm-start cache (routing sessions + skeleton results). The
+// directory is created on first save. Cache files are keyed by the graph's
+// fingerprint and the seed, so one directory can serve many instances. The
+// option only records the location; call LoadCache/SaveCache (or use
+// hybridsim's -cache-dir, which does both) to actually touch disk.
+func WithCacheDir(dir string) Option {
+	return func(nw *Network) { nw.cacheDir = dir }
+}
+
+// WithCacheTrace installs a cache-event hook on both warm-start caches: fn
+// receives one line per collective cache agreement ("skeleton …: hit",
+// "session …: rebuild"). The sequence is deterministic for a fixed seed and
+// identical on every engine; the golden round-trace test pins it, and it is
+// useful for verifying that a warm-started run skipped construction.
+func WithCacheTrace(fn func(event string)) Option {
+	return func(nw *Network) {
+		nw.sessions.SetTrace(fn)
+		nw.skeletons.SetTrace(fn)
+	}
+}
+
 // New creates a Network over g. The graph must be connected for the
 // paper's algorithms to have their guarantees; New does not copy g, and g
 // must not be mutated during runs.
 func New(g *graph.Graph, opts ...Option) *Network {
-	nw := &Network{g: g, sessions: routing.NewSessionCache()}
+	nw := &Network{g: g, sessions: routing.NewSessionCache(), skeletons: skeleton.NewResultCache()}
 	for _, o := range opts {
 		o(nw)
 	}
@@ -207,7 +235,7 @@ func (nw *Network) APSPLocalOnly(rounds int) (*APSPResult, error) {
 }
 
 func (nw *Network) apspParams() hybridapsp.Params {
-	return hybridapsp.Params{Routing: nw.routingParams()}
+	return hybridapsp.Params{Routing: nw.routingParams(), SkeletonCache: nw.skeletons}
 }
 
 func (nw *Network) apsp(p sim.Pipeline[[]int64]) (*APSPResult, error) {
@@ -345,7 +373,7 @@ func (nw *Network) KSSP(sources []int, spec KSSPSpec) (*KSSPResult, error) {
 }
 
 func (nw *Network) ksspParams() kssp.Params {
-	return kssp.Params{Routing: nw.routingParams()}
+	return kssp.Params{Routing: nw.routingParams(), SkeletonCache: nw.skeletons}
 }
 
 // SSSPResult holds per-node exact distances to the single source.
@@ -454,7 +482,7 @@ func (nw *Network) Diameter(spec DiameterSpec) (*DiameterResult, error) {
 	if !spec.valid {
 		return nil, fmt.Errorf("hybrid: invalid diameter spec (use DiamCor52, DiamCor53 or DiamRealMM)")
 	}
-	out, m, err := run(nw, diameter.Pipeline(spec.alg, diameter.Params{Routing: nw.routingParams()}))
+	out, m, err := run(nw, diameter.Pipeline(spec.alg, diameter.Params{Routing: nw.routingParams(), SkeletonCache: nw.skeletons}))
 	if err != nil {
 		return nil, err
 	}
@@ -535,3 +563,93 @@ func (nw *Network) TokenRouting(specs []RoutingSpec) ([][]RoutingToken, Metrics,
 // Ensure the facade's variants remain wired to implementations that expose
 // the interfaces they promise.
 var _ clique.Algorithm = (*clique.MM)(nil)
+
+// cacheFormatVersion gates the on-disk warm-start cache format. Bump it
+// whenever the serialized shape of the routing or skeleton snapshots
+// changes; older files are then rejected (clean cold start), never
+// migrated.
+const cacheFormatVersion = 1
+
+// cachePayload is the on-disk warm-start cache: both caches' snapshots
+// plus the instance identity they were recorded under. The identity is
+// redundant with the file name but is validated on load, so a file renamed
+// or copied across instances is rejected instead of trusted.
+type cachePayload struct {
+	N           int
+	Seed        int64
+	Fingerprint uint64
+	Sessions    routing.CacheSnapshot
+	Skeletons   skeleton.CacheSnapshot
+}
+
+// CachePath returns the file this network's warm-start cache persists to:
+// <cacheDir>/warm-<graph fingerprint>-seed<seed>.hybc. It returns "" when
+// no cache directory is configured (WithCacheDir).
+func (nw *Network) CachePath() string {
+	if nw.cacheDir == "" {
+		return ""
+	}
+	return filepath.Join(nw.cacheDir,
+		fmt.Sprintf("warm-%016x-seed%d.hybc", nw.g.Fingerprint(), nw.cfg.Seed))
+}
+
+// SaveCache persists the network's warm-start caches (routing sessions and
+// skeleton results) to the configured cache directory, atomically. A later
+// Network over the same graph and seed can LoadCache the file and skip
+// session and skeleton construction entirely. Must not be called while a
+// run is in flight.
+func (nw *Network) SaveCache() error {
+	path := nw.CachePath()
+	if path == "" {
+		return fmt.Errorf("hybrid: no cache directory configured (use WithCacheDir)")
+	}
+	payload := cachePayload{
+		N:           nw.g.N(),
+		Seed:        nw.cfg.Seed,
+		Fingerprint: nw.g.Fingerprint(),
+		Sessions:    nw.sessions.Snapshot(),
+		Skeletons:   nw.skeletons.Snapshot(),
+	}
+	return persist.Save(path, cacheFormatVersion, payload)
+}
+
+// LoadCache restores the warm-start caches from the configured cache
+// directory. It returns (false, nil) when no cache file exists (a normal
+// cold start) and (true, nil) after a successful restore. Every rejection —
+// corrupt file, format-version mismatch, instance mismatch — returns
+// (false, err) and leaves the network with empty caches, so the caller can
+// log the error and proceed cold: a bad cache file never changes results,
+// only the number of setup rounds. Must not be called while a run is in
+// flight.
+func (nw *Network) LoadCache() (bool, error) {
+	path := nw.CachePath()
+	if path == "" {
+		return false, fmt.Errorf("hybrid: no cache directory configured (use WithCacheDir)")
+	}
+	var payload cachePayload
+	err := persist.Load(path, cacheFormatVersion, &payload)
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		return false, nil
+	default:
+		return false, fmt.Errorf("hybrid: rejecting warm-start cache: %w", err)
+	}
+	if payload.N != nw.g.N() || payload.Seed != nw.cfg.Seed || payload.Fingerprint != nw.g.Fingerprint() {
+		return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: recorded for n=%d seed=%d graph %016x, this network is n=%d seed=%d graph %016x",
+			path, payload.N, payload.Seed, payload.Fingerprint, nw.g.N(), nw.cfg.Seed, nw.g.Fingerprint())
+	}
+	if err := nw.sessions.Restore(payload.Sessions, nw.g.N()); err != nil {
+		return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w", path, err)
+	}
+	if err := nw.skeletons.Restore(payload.Skeletons, nw.g.N()); err != nil {
+		// The session restore above already succeeded; clear it in place
+		// (preserving any WithCacheTrace hook) so a rejected file leaves
+		// fully empty caches, not half-warm state.
+		if rerr := nw.sessions.Restore(routing.CacheSnapshot{}, nw.g.N()); rerr != nil {
+			return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w (and clearing sessions: %v)", path, err, rerr)
+		}
+		return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w", path, err)
+	}
+	return true, nil
+}

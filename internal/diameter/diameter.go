@@ -48,6 +48,10 @@ type Params struct {
 	HFactor float64
 	// Routing tunes the CLIQUE simulation's token routing.
 	Routing routing.Params
+	// SkeletonCache, if non-nil, reuses skeleton construction results
+	// across runs with matching parameters and membership draws (see
+	// skeleton.ResultCache); the facade threads the Network's cache here.
+	SkeletonCache *skeleton.ResultCache
 }
 
 // diamFlood carries D~(S) from skeleton nodes through the local network.
@@ -71,7 +75,7 @@ func (spec AlgSpec) plan(params Params, n int) (sp skeleton.Params, h, etaRounds
 	if x <= 0 || x >= 1 {
 		x = 2 / (3 + 2*spec.Delta)
 	}
-	sp = skeleton.Params{X: x, HFactor: params.HFactor}
+	sp = skeleton.Params{X: x, HFactor: params.HFactor, Cache: params.SkeletonCache}
 	h = sp.H(n)
 	etaRounds = int(math.Ceil(spec.Eta * float64(h)))
 	if etaRounds < h {

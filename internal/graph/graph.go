@@ -9,8 +9,10 @@
 package graph
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 )
@@ -263,4 +265,26 @@ func (g *Graph) Reweight(fn func(u, v int, w int64) int64) *Graph {
 		c.MustAddEdge(e.U, e.V, fn(e.U, e.V, e.W))
 	}
 	return c
+}
+
+// Fingerprint returns a canonical 64-bit FNV-1a hash of the graph — node
+// count and the sorted undirected edge list with weights — so two graphs
+// hash equal iff they are the same labeled weighted graph. It is the
+// topology component of the persistent warm-start cache key: a cache file
+// recorded for one graph must never be offered to another.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(g.n))
+	word(uint64(g.m))
+	for _, e := range g.Edges() {
+		word(uint64(e.U))
+		word(uint64(e.V))
+		word(uint64(e.W))
+	}
+	return h.Sum64()
 }

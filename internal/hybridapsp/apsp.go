@@ -46,6 +46,10 @@ type Params struct {
 	Routing routing.Params
 	// Dissemination tunes the token dissemination runs.
 	Dissemination ncc.DisseminateParams
+	// SkeletonCache, if non-nil, reuses skeleton construction results
+	// across runs with matching parameters and membership draws (see
+	// skeleton.ResultCache); the facade threads the Network's cache here.
+	SkeletonCache *skeleton.ResultCache
 }
 
 func (p Params) skeletonParams() skeleton.Params {
@@ -53,7 +57,7 @@ func (p Params) skeletonParams() skeleton.Params {
 	if x <= 0 || x >= 1 {
 		x = 0.5
 	}
-	return skeleton.Params{X: x, HFactor: p.HFactor}
+	return skeleton.Params{X: x, HFactor: p.HFactor, Cache: p.SkeletonCache}
 }
 
 // Compute runs the Theorem 1.1 algorithm collectively and returns this

@@ -59,6 +59,10 @@ type Params struct {
 	Routing routing.Params
 	// MaxEtaRounds caps the ηh local exploration (0 = n).
 	MaxEtaRounds int
+	// SkeletonCache, if non-nil, reuses skeleton construction results
+	// across runs with matching parameters and membership draws (see
+	// skeleton.ResultCache); the facade threads the Network's cache here.
+	SkeletonCache *skeleton.ResultCache
 }
 
 // SourceDist is one output entry: the estimated distance to a source.
@@ -75,7 +79,7 @@ func (spec AlgSpec) plan(params Params, n int) (sp skeleton.Params, h, etaRounds
 	if x <= 0 || x >= 1 {
 		x = 2 / (3 + 2*spec.Delta)
 	}
-	sp = skeleton.Params{X: x, HFactor: params.HFactor}
+	sp = skeleton.Params{X: x, HFactor: params.HFactor, Cache: params.SkeletonCache}
 	h = sp.H(n)
 	etaRounds = int(math.Ceil(spec.Eta * float64(h)))
 	if etaRounds < h {

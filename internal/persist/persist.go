@@ -1,0 +1,106 @@
+// Package persist implements the on-disk codec of the warm-start cache: a
+// gob payload behind a fixed binary integrity header. The header carries a
+// magic tag, a format version, and the payload's length and FNV-64a
+// checksum, so a reader can reject foreign files, files written by an
+// incompatible release, and bit-rotted or truncated files *before* feeding
+// bytes to gob. Writes go through a temp file and an atomic rename, so a
+// crashed writer never leaves a half-written cache behind — at worst the
+// old file survives.
+//
+// The package is deliberately schema-agnostic: callers own the payload
+// types and the version constant. Bumping the version is the only
+// invalidation signal — a version-mismatched file is rejected with
+// ErrVersion (never migrated), which the callers treat as a cold start.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// magic tags every cache file written by this package.
+var magic = [4]byte{'H', 'Y', 'W', 'C'} // HYbrid Warm Cache
+
+// headerLen is the fixed prefix: magic, version, payload length, checksum.
+const headerLen = 4 + 4 + 8 + 8
+
+// ErrCorrupt marks a file that is not a well-formed cache file: wrong
+// magic, truncated, trailing garbage, checksum mismatch, or an undecodable
+// payload.
+var ErrCorrupt = errors.New("persist: corrupt cache file")
+
+// ErrVersion marks a structurally valid cache file written under a
+// different format version.
+var ErrVersion = errors.New("persist: cache format version mismatch")
+
+// Save gob-encodes payload and writes it to path behind the integrity
+// header, atomically (temp file + rename). Parent directories are created
+// as needed.
+func Save(path string, version uint32, payload interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return fmt.Errorf("persist: encoding cache payload: %w", err)
+	}
+	body := buf.Bytes()
+	h := fnv.New64a()
+	h.Write(body)
+
+	out := make([]byte, headerLen, headerLen+len(body))
+	copy(out[0:4], magic[:])
+	binary.LittleEndian.PutUint32(out[4:8], version)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(body)))
+	binary.LittleEndian.PutUint64(out[16:24], h.Sum64())
+	out = append(out, body...)
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("persist: creating cache directory: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("persist: writing cache file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: installing cache file: %w", err)
+	}
+	return nil
+}
+
+// Load reads path, validates the integrity header against version, and
+// gob-decodes the payload into out. A missing file returns the underlying
+// fs error (test with os.IsNotExist / errors.Is(err, fs.ErrNotExist));
+// every malformed-content condition returns an error wrapping ErrCorrupt
+// or ErrVersion. On error out may be partially written (gob decodes in
+// place), so callers must decode into a scratch value and only adopt it on
+// success.
+func Load(path string, version uint32, out interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < headerLen || !bytes.Equal(data[0:4], magic[:]) {
+		return fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
+		return fmt.Errorf("%w: %s: file has format v%d, this build reads v%d", ErrVersion, path, v, version)
+	}
+	body := data[headerLen:]
+	if wantLen := binary.LittleEndian.Uint64(data[8:16]); wantLen != uint64(len(body)) {
+		return fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, path, len(body), wantLen)
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	if wantSum := binary.LittleEndian.Uint64(data[16:24]); wantSum != h.Sum64() {
+		return fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}

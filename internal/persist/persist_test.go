@@ -1,0 +1,117 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Vals  []int64
+	Table map[int][]int
+}
+
+func samplePayload() payload {
+	return payload{
+		Name:  "skeleton",
+		Vals:  []int64{1, 2, 3, 1 << 60},
+		Table: map[int][]int{0: {1, 2}, 7: {9}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "cache.hybc")
+	want := samplePayload()
+	if err := Save(path, 3, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Load(path, 3, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file survived the rename: %v", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var got payload
+	err := Load(filepath.Join(t.TempDir(), "absent.hybc"), 1, &got)
+	if !os.IsNotExist(err) {
+		t.Errorf("missing file: got %v, want IsNotExist", err)
+	}
+}
+
+func TestLoadVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.hybc")
+	if err := Save(path, 1, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	err := Load(path, 2, &got)
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("version mismatch: got %v, want ErrVersion", err)
+	}
+}
+
+// TestLoadCorruptions flips, truncates, and extends a valid file and
+// requires every mutation to be rejected with ErrCorrupt.
+func TestLoadCorruptions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.hybc")
+	if err := Save(path, 1, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"empty":           func(b []byte) []byte { return nil },
+		"short header":    func(b []byte) []byte { return b[:headerLen-1] },
+		"bad magic":       func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"flipped payload": func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"truncated":       func(b []byte) []byte { return b[:len(b)-5] },
+		"trailing bytes":  func(b []byte) []byte { return append(b, 0xaa) },
+		"flipped length":  func(b []byte) []byte { b[8] ^= 0x01; return b },
+		"flipped sum":     func(b []byte) []byte { b[16] ^= 0x01; return b },
+	}
+	for name, mutate := range cases {
+		mutated := mutate(append([]byte(nil), valid...))
+		p := filepath.Join(dir, "mut.hybc")
+		if err := os.WriteFile(p, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if err := Load(p, 1, &got); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestSaveOverwritesAtomically pins the overwrite path: saving over an
+// existing file replaces it and the new contents load cleanly.
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.hybc")
+	if err := Save(path, 1, payload{Name: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, 1, payload{Name: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Load(path, 1, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "new" {
+		t.Errorf("got %q, want the overwritten payload", got.Name)
+	}
+}

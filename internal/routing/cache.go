@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/bitrand"
@@ -33,6 +34,7 @@ type SessionCache struct {
 	mu      sync.Mutex
 	entries map[sessionKey]*sessionEntry
 	order   []sessionKey // insertion order, for deterministic FIFO eviction
+	trace   func(event string)
 }
 
 // maxSessionEntries bounds the cache: one entry holds O(n·µ) helper
@@ -46,6 +48,25 @@ const maxSessionEntries = 16
 // of sequential runs over the same node set.
 func NewSessionCache() *SessionCache {
 	return &SessionCache{entries: map[sessionKey]*sessionEntry{}}
+}
+
+// SetTrace installs a cache-event hook: fn is invoked (at node 0 only) with
+// one line per collective agreement, saying whether the run bound the
+// cached session or rebuilt. The sequence is engine-independent; the golden
+// round-trace test pins it.
+func (c *SessionCache) SetTrace(fn func(event string)) { c.trace = fn }
+
+// traceEvent records one collective agreement outcome (node 0 only, so the
+// trace is a single global sequence shared by all execution forms).
+func (c *SessionCache) traceEvent(env *sim.Env, key sessionKey, hit bool) {
+	if c.trace == nil || env.ID() != 0 {
+		return
+	}
+	verdict := "rebuild"
+	if hit {
+		verdict = "hit"
+	}
+	c.trace(fmt.Sprintf("session kS=%d kR=%d µS=%d µR=%d: %s", key.kS, key.kR, key.muS, key.muR, verdict))
 }
 
 // sessionKey is the globally known part of a session's identity. The
@@ -167,10 +188,139 @@ func (e *sessionEntry) bind(env *sim.Env, muS, muR int, p Params) *Session {
 // re-populates the cache.
 func (c *SessionCache) session(env *sim.Env, inS, inR bool, key sessionKey, muS, muR int, p Params) *Session {
 	entry := c.lookup(key)
-	if ncc.Aggregate(env, entry.mismatch(env.ID(), inS, inR), ncc.AggMax) == 0 {
+	hit := ncc.Aggregate(env, entry.mismatch(env.ID(), inS, inR), ncc.AggMax) == 0
+	c.traceEvent(env, key, hit)
+	if hit {
 		return entry.bind(env, muS, muR, p)
 	}
 	s := buildSession(env, inS, inR, muS, muR, p)
 	c.shared(env, key).store(env.ID(), inS, inR, s)
 	return s
+}
+
+// CacheSnapshot is the serializable image of a SessionCache, produced by
+// Snapshot and consumed by Restore. Entries preserve insertion order so a
+// restored cache keeps the same deterministic FIFO eviction sequence.
+type CacheSnapshot struct {
+	Entries []SessionEntrySnapshot
+}
+
+// SessionKeySnapshot is the exported mirror of a session's globally known
+// identity (the in-memory sessionKey).
+type SessionKeySnapshot struct {
+	KS, KR      int
+	PS, PR      float64
+	MuS, MuR    int
+	HashKFactor int
+	QBoost      int
+}
+
+// FamilySnapshot is one node's serialized view of one helper family: the
+// Algorithm 1 output, the cluster-local helper directory, and the owners
+// this node helps.
+type FamilySnapshot struct {
+	Res        helpers.Result
+	HelperSets map[int][]int
+	MyOwners   []int
+}
+
+// SessionEntrySnapshot is one cached session: its key and every node's
+// slot. HashSeed holds each node's k-wise hash coefficients (nil for
+// unfilled slots); the hash is reconstructed with bitrand.FromSeed.
+type SessionEntrySnapshot struct {
+	Key      SessionKeySnapshot
+	Filled   []bool
+	InS, InR []bool
+	FamS     []FamilySnapshot
+	FamR     []FamilySnapshot
+	HashSeed [][]uint64
+}
+
+// Snapshot captures the cache's current contents for persistence. The
+// returned snapshot shares the per-node maps and slices with the cache;
+// callers must serialize (or deep-copy) it before the cache is used again.
+func (c *SessionCache) Snapshot() CacheSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := CacheSnapshot{Entries: make([]SessionEntrySnapshot, 0, len(c.order))}
+	for _, key := range c.order {
+		e := c.entries[key]
+		n := len(e.filled)
+		es := SessionEntrySnapshot{
+			Key: SessionKeySnapshot{
+				KS: key.kS, KR: key.kR, PS: key.pS, PR: key.pR,
+				MuS: key.muS, MuR: key.muR,
+				HashKFactor: key.hashKFactor, QBoost: key.qBoost,
+			},
+			Filled:   e.filled,
+			InS:      e.inS,
+			InR:      e.inR,
+			FamS:     make([]FamilySnapshot, n),
+			FamR:     make([]FamilySnapshot, n),
+			HashSeed: make([][]uint64, n),
+		}
+		for id := 0; id < n; id++ {
+			if !e.filled[id] {
+				continue
+			}
+			es.FamS[id] = FamilySnapshot{Res: e.famS[id].res, HelperSets: e.famS[id].helperSets, MyOwners: e.famS[id].myOwners}
+			es.FamR[id] = FamilySnapshot{Res: e.famR[id].res, HelperSets: e.famR[id].helperSets, MyOwners: e.famR[id].myOwners}
+			es.HashSeed[id] = e.hash[id].Seed()
+		}
+		snap.Entries = append(snap.Entries, es)
+	}
+	return snap
+}
+
+// Restore replaces the cache's contents with a snapshot recorded for an
+// n-node graph, validating shape. Restoring a snapshot recorded under a
+// different seed is safe — the collective membership agreement degrades
+// every stale entry to a rebuild — but restoring one from a different
+// graph must be prevented by the caller (the facade keys cache files by
+// graph fingerprint and seed).
+func (c *SessionCache) Restore(snap CacheSnapshot, n int) error {
+	entries := map[sessionKey]*sessionEntry{}
+	order := make([]sessionKey, 0, len(snap.Entries))
+	for i, es := range snap.Entries {
+		if len(es.Filled) != n || len(es.InS) != n || len(es.InR) != n ||
+			len(es.FamS) != n || len(es.FamR) != n || len(es.HashSeed) != n {
+			return fmt.Errorf("routing: cache snapshot entry %d sized for %d nodes, want %d", i, len(es.Filled), n)
+		}
+		key := sessionKey{
+			kS: es.Key.KS, kR: es.Key.KR, pS: es.Key.PS, pR: es.Key.PR,
+			muS: es.Key.MuS, muR: es.Key.MuR,
+			hashKFactor: es.Key.HashKFactor, qBoost: es.Key.QBoost,
+		}
+		if _, dup := entries[key]; dup {
+			return fmt.Errorf("routing: cache snapshot has duplicate entry for kS=%d kR=%d", es.Key.KS, es.Key.KR)
+		}
+		e := newSessionEntry(n)
+		for id := 0; id < n; id++ {
+			if !es.Filled[id] {
+				continue
+			}
+			if es.HashSeed[id] == nil {
+				return fmt.Errorf("routing: cache snapshot entry %d node %d filled but has no hash seed", i, id)
+			}
+			e.filled[id] = true
+			e.inS[id], e.inR[id] = es.InS[id], es.InR[id]
+			e.famS[id] = familySnap{res: es.FamS[id].Res, helperSets: es.FamS[id].HelperSets, myOwners: es.FamS[id].MyOwners}
+			e.famR[id] = familySnap{res: es.FamR[id].Res, helperSets: es.FamR[id].HelperSets, myOwners: es.FamR[id].MyOwners}
+			e.hash[id] = bitrand.FromSeed(es.HashSeed[id], n)
+		}
+		entries[key] = e
+		order = append(order, key)
+	}
+	c.mu.Lock()
+	c.entries = entries
+	c.order = order
+	c.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of cached entries (for tests and diagnostics).
+func (c *SessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }

@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"bytes"
+	"encoding/gob"
 	"reflect"
 	"testing"
 
@@ -137,5 +139,48 @@ func TestSessionCacheEviction(t *testing.T) {
 		if len(out[v]) != len(specs[v].Expect) {
 			t.Fatalf("post-eviction node %d received %d tokens, want %d", v, len(out[v]), len(specs[v].Expect))
 		}
+	}
+}
+
+// TestSessionCacheSnapshotRestore pins the persistence contract at package
+// level: a restored snapshot serves a warm run with exactly the same round
+// count as an in-memory hit and byte-identical tokens, on every engine —
+// and the snapshot survives the gob codec the persist package uses.
+func TestSessionCacheSnapshotRestore(t *testing.T) {
+	g := graph.Grid(7, 7)
+	n := g.N()
+	specs := buildInstance(n, 0.4, 0.4, 2, 5)
+
+	cache := NewSessionCache()
+	routePipeline(t, g, specs, sim.EngineLegacy, Params{Cache: cache}) // populate
+	memOut, memM := routePipeline(t, g, specs, sim.EngineLegacy, Params{Cache: cache})
+
+	// Round-trip the snapshot through gob, as the on-disk codec does.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cache.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var snap CacheSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, eng := range stepEngines {
+		restored := NewSessionCache()
+		if err := restored.Restore(snap, n); err != nil {
+			t.Fatal(err)
+		}
+		out, m := routePipeline(t, g, specs, eng, Params{Cache: restored})
+		if !reflect.DeepEqual(out, memOut) {
+			t.Errorf("%s: warm-disk run delivers different tokens than warm-memory", eng)
+		}
+		if m != memM {
+			t.Errorf("%s: warm-disk metrics %+v differ from warm-memory %+v", eng, m, memM)
+		}
+	}
+
+	// Shape validation: a snapshot for the wrong n is rejected.
+	if err := NewSessionCache().Restore(snap, n+1); err == nil {
+		t.Error("restoring a snapshot recorded for a different node count succeeded")
 	}
 }

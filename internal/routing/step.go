@@ -56,6 +56,7 @@ func NewSessionMachine(env *sim.Env, inS, inR bool, kS, kR int, pS, pR float64, 
 			return agg
 		},
 		func(env *sim.Env) sim.StepProgram {
+			p.Cache.traceEvent(env, key, agg.Out == 0)
 			if agg.Out == 0 {
 				return nil
 			}

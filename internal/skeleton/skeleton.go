@@ -38,6 +38,11 @@ type Params struct {
 	HFactor float64
 	// MaxH caps h (0 = no cap beyond n).
 	MaxH int
+	// Cache, if non-nil, reuses per-node skeleton results across
+	// constructions with matching resolved parameters and membership draws,
+	// paying one 2·ceil(log2 n)-round collective agreement instead of the h
+	// exploration rounds on a hit. See ResultCache.
+	Cache *ResultCache
 }
 
 // H returns the exploration depth for a given n.
@@ -121,13 +126,30 @@ type distUpdate struct {
 // Compute runs Algorithm 6 collectively: sample V_S (forceInclude adds this
 // node deterministically, used for γ = 0 single sources), then explore for
 // exactly H rounds of weighted Bellman-Ford so every node learns d_h to all
-// skeleton nodes within h hops. Takes exactly Params.H(n) rounds.
+// skeleton nodes within h hops. Takes exactly Params.H(n) rounds, or
+// 2·ceil(log2 n) agreement rounds on a Params.Cache hit. The membership
+// draw is consumed from the node's random stream before the cache is
+// consulted, so the stream position after Compute is hit/miss independent.
 func Compute(env *sim.Env, p Params, forceInclude bool) Result {
 	n := env.N()
 	h := p.H(n)
 	inS := forceInclude || env.Rand().Float64() < p.SampleProb(n)
+	if p.Cache != nil {
+		return p.Cache.compute(env, keyOf(p, n), forceInclude, inS, h)
+	}
+	return exploreResult(env, inS, h)
+}
 
+// exploreResult is the uncached construction tail shared by the goroutine
+// and step forms: the h-round exploration plus the dense-to-map conversion.
+func exploreResult(env *sim.Env, inS bool, h int) Result {
 	near, hops := LimitedExplore(env, inS, h)
+	return resultFromVectors(env.N(), inS, h, near, hops)
+}
+
+// resultFromVectors converts the dense exploration vectors into a Result
+// (the pure local tail of Algorithm 6, shared by both execution forms).
+func resultFromVectors(n int, inS bool, h int, near []int64, hops []int) Result {
 	nearMap := make(map[int]int64)
 	hopsMap := make(map[int]int)
 	for u := 0; u < n; u++ {

@@ -162,31 +162,63 @@ type ComputeMachine struct {
 // NewComputeMachine builds the collective Algorithm 6 machine; all nodes
 // must start it in the same round with the same params. Membership is
 // sampled at construction, which is where Compute samples it, so the
-// per-node randomness stream stays aligned across the two forms.
+// per-node randomness stream stays aligned across the two forms. With
+// p.Cache set it is the step form of the cached construction: the
+// collective agreement aggregation, then either a zero-round bind or the
+// full exploration (re-populating the cache) — the same rounds, messages,
+// and branch as the goroutine form.
 func NewComputeMachine(env *sim.Env, p Params, forceInclude bool) *ComputeMachine {
 	n := env.N()
 	h := p.H(n)
 	inS := forceInclude || env.Rand().Float64() < p.SampleProb(n)
 	m := &ComputeMachine{}
-	var explore *ExploreMachine
+	if p.Cache == nil {
+		m.prog = newExploreResultProg(env, m, inS, h)
+		return m
+	}
+	key := keyOf(p, n)
+	entry := p.Cache.lookup(key)
+	inner := &ComputeMachine{}
+	var agg *ncc.AggregateMachine
 	m.prog = sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			agg = ncc.NewAggregateMachine(env, entry.mismatch(env.ID(), forceInclude, inS), ncc.AggMax)
+			return agg
+		},
+		func(env *sim.Env) sim.StepProgram {
+			p.Cache.traceEvent(env, key, agg.Out == 0)
+			if agg.Out == 0 {
+				return nil
+			}
+			inner.prog = newExploreResultProg(env, inner, inS, h)
+			return inner
+		},
+		sim.Finish(func(env *sim.Env) {
+			if agg.Out == 0 {
+				m.Res = entry.bind(env.ID())
+				return
+			}
+			p.Cache.shared(env, key).store(env.ID(), forceInclude, inner.Res)
+			m.Res = inner.Res
+		}),
+	)
+	return m
+}
+
+// newExploreResultProg is the uncached construction machine, writing the
+// finished result to m.Res (the step twin of exploreResult).
+func newExploreResultProg(env *sim.Env, m *ComputeMachine, inS bool, h int) sim.StepProgram {
+	n := env.N()
+	var explore *ExploreMachine
+	return sim.Sequence(
 		func(env *sim.Env) sim.StepProgram {
 			explore = NewExploreMachine(env, inS, h)
 			return explore
 		},
 		sim.Finish(func(env *sim.Env) {
-			nearMap := make(map[int]int64)
-			hopsMap := make(map[int]int)
-			for u := 0; u < n; u++ {
-				if explore.Near[u] < graph.Inf {
-					nearMap[u] = explore.Near[u]
-					hopsMap[u] = explore.Hops[u]
-				}
-			}
-			m.Res = Result{InSkeleton: inS, H: h, Near: nearMap, NearHops: hopsMap}
+			m.Res = resultFromVectors(n, inS, h, explore.Near, explore.Hops)
 		}),
 	)
-	return m
 }
 
 // Step implements sim.StepProgram.
