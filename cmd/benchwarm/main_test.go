@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunEmitsReport drives the whole benchmark in-process on a small grid
+// and checks the emitted JSON: schema fields present, the measured
+// invariants (warm < cross-seed < cold rounds, non-empty cache files)
+// already self-verified by run, and the file parseable by consumers.
+func TestRunEmitsReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_warmstart.json")
+	if err := run("grid", 49, "step", 1, 2, out, filepath.Join(dir, "cache")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if rep.N != 49 || rep.Graph != "grid" || rep.Engine != "step" {
+		t.Errorf("report identity %+v", rep)
+	}
+	if rep.StructBytes <= 0 || rep.SeedBytes <= 0 || rep.TotalBytes != rep.StructBytes+rep.SeedBytes {
+		t.Errorf("report sizes %+v", rep)
+	}
+	if !(rep.WarmRounds < rep.CrossSeedRounds && rep.CrossSeedRounds < rep.CrossColdRounds) {
+		t.Errorf("round ordering not strictly between: %+v", rep)
+	}
+	if rep.ColdWallMS <= 0 || rep.SaveMS <= 0 || rep.LoadMS <= 0 {
+		t.Errorf("missing timings: %+v", rep)
+	}
+}
+
+// TestRunRejectsBadFlags pins the error exits.
+func TestRunRejectsBadFlags(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+	if err := run("torus", 49, "step", 1, 2, out, dir); err == nil {
+		t.Error("unknown graph accepted")
+	}
+	if err := run("grid", 49, "warp", 1, 2, out, dir); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestRunOtherGraphs smokes the remaining generator branches.
+func TestRunOtherGraphs(t *testing.T) {
+	for _, kind := range []string{"path", "cycle", "sparse"} {
+		dir := t.TempDir()
+		if err := run(kind, 24, "step", 1, 2, filepath.Join(dir, "o.json"), dir); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	hybrid "repro"
 )
@@ -132,11 +133,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	net := hybrid.New(g, opts...)
+	var cacheStatus hybrid.CacheLoadStatus
 	if *cacheDir != "" {
-		if loaded, err := net.LoadCache(); err != nil {
+		status, err := net.LoadCache()
+		cacheStatus = status
+		switch {
+		case err != nil:
 			fmt.Fprintf(stderr, "warning: %v (starting cold)\n", err)
-		} else if loaded {
-			fmt.Fprintf(stderr, "warm start: loaded %s\n", net.CachePath())
+		case status.Seed:
+			fmt.Fprintf(stderr, "warm start: loaded structural+seed sections from %s\n", *cacheDir)
+		case status.Structural:
+			fmt.Fprintf(stderr, "warm start: loaded structural section only (cross-seed) from %s\n", *cacheDir)
 		}
 	}
 
@@ -238,12 +245,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *cacheDir != "" {
 		if err := net.SaveCache(); err != nil {
+			// No summary on a failed save: the on-disk set may be stale or
+			// half-written, and a healthy-looking report would lie.
 			fmt.Fprintf(stderr, "warning: saving warm-start cache: %v\n", err)
 		} else {
-			fmt.Fprintf(stderr, "saved warm-start cache: %s\n", net.CachePath())
+			fmt.Fprintf(stderr, "saved warm-start cache: %s + %s\n", net.StructCachePath(), net.CachePath())
+			printCacheSummary(stdout, net, cacheStatus)
 		}
 	}
 	return 0
+}
+
+// printCacheSummary reports the on-disk cache sections in the run summary:
+// which sections this run warm-started from (structural = seed-independent
+// cluster structures, seed = sessions + skeleton results) and each file's
+// format version and size after the post-run save.
+func printCacheSummary(w io.Writer, net *hybrid.Network, status hybrid.CacheLoadStatus) {
+	verdict := func(hit bool) string {
+		if hit {
+			return "hit"
+		}
+		return "miss"
+	}
+	structural, seed := net.CacheFiles()
+	fmt.Fprintf(w, "cache: structural=%s seed=%s\n", verdict(status.Structural), verdict(status.Seed))
+	for _, f := range []struct {
+		name string
+		info hybrid.CacheFileInfo
+	}{{"structural", structural}, {"seed", seed}} {
+		if !f.info.Exists {
+			fmt.Fprintf(w, "cache %s file: absent\n", f.name)
+			continue
+		}
+		fmt.Fprintf(w, "cache %s file: %s format=v%d size=%d bytes\n",
+			f.name, filepath.Base(f.info.Path), f.info.Version, f.info.Bytes)
+	}
 }
 
 func verifyAPSP(w io.Writer, g *hybrid.Graph, res *hybrid.APSPResult) {

@@ -95,7 +95,7 @@ func TestRunWarmStartCLI(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("warm exit %d, stderr:\n%s", code, warmErr)
 	}
-	if !strings.Contains(warmErr, "warm start: loaded") {
+	if !strings.Contains(warmErr, "warm start: loaded structural+seed sections") {
 		t.Errorf("warm run did not load the cache:\n%s", warmErr)
 	}
 	if !strings.Contains(warmOut, "apsp: 10000/10000 pair distances exact") {
@@ -104,6 +104,70 @@ func TestRunWarmStartCLI(t *testing.T) {
 	coldRounds, warmRounds := roundsOf(t, coldOut), roundsOf(t, warmOut)
 	if warmRounds >= coldRounds {
 		t.Errorf("warm run did not reduce rounds: cold %d, warm %d", coldRounds, warmRounds)
+	}
+
+	// The run summary reports the cache sections: hit/miss per section and
+	// each file's format version and size.
+	if !strings.Contains(coldOut, "cache: structural=miss seed=miss") {
+		t.Errorf("cold run summary missing section miss report:\n%s", coldOut)
+	}
+	if !strings.Contains(warmOut, "cache: structural=hit seed=hit") {
+		t.Errorf("warm run summary missing section hit report:\n%s", warmOut)
+	}
+	for _, want := range []string{"cache structural file: warm-", "cache seed file: warm-", "format=v2 size="} {
+		if !strings.Contains(warmOut, want) {
+			t.Errorf("warm run summary missing %q:\n%s", want, warmOut)
+		}
+	}
+}
+
+// TestRunCrossSeedWarmStartCLI pins the seed-split behavior end to end: a
+// run with a new seed against a cache directory populated under another
+// seed loads the structural section only, lands strictly between that
+// seed's cold and full-warm round counts, and still verifies exactly.
+func TestRunCrossSeedWarmStartCLI(t *testing.T) {
+	dir := t.TempDir()
+	argsFor := func(seed string, cache bool) []string {
+		args := []string{"-graph", "grid", "-n", "100", "-algo", "apsp", "-seed", seed}
+		if cache {
+			args = append(args, "-cache-dir", dir)
+		}
+		return args
+	}
+
+	// Cold baseline for seed 4 without any cache, then populate the cache
+	// under seed 3.
+	code, coldOut, coldErr := runCLI(argsFor("4", false)...)
+	if code != 0 {
+		t.Fatalf("cold exit %d, stderr:\n%s", code, coldErr)
+	}
+	if code, _, stderr := runCLI(argsFor("3", true)...); code != 0 {
+		t.Fatalf("populate exit %d, stderr:\n%s", code, stderr)
+	}
+
+	code, crossOut, crossErr := runCLI(argsFor("4", true)...)
+	if code != 0 {
+		t.Fatalf("cross-seed exit %d, stderr:\n%s", code, crossErr)
+	}
+	if !strings.Contains(crossErr, "warm start: loaded structural section only (cross-seed)") {
+		t.Errorf("cross-seed run did not announce the partial warm start:\n%s", crossErr)
+	}
+	if !strings.Contains(crossOut, "cache: structural=hit seed=miss") {
+		t.Errorf("cross-seed summary missing section report:\n%s", crossOut)
+	}
+	if !strings.Contains(crossOut, "apsp: 10000/10000 pair distances exact") {
+		t.Errorf("cross-seed run not exact:\n%s", crossOut)
+	}
+
+	// The cross-seed run saved its own seed section: the rerun is fully warm.
+	code, warmOut, _ := runCLI(argsFor("4", true)...)
+	if code != 0 {
+		t.Fatalf("warm exit %d", code)
+	}
+	coldRounds, crossRounds, warmRounds := roundsOf(t, coldOut), roundsOf(t, crossOut), roundsOf(t, warmOut)
+	if !(warmRounds < crossRounds && crossRounds < coldRounds) {
+		t.Errorf("cross-seed rounds not strictly between: cold %d, cross-seed %d, warm %d",
+			coldRounds, crossRounds, warmRounds)
 	}
 }
 
@@ -116,7 +180,10 @@ func TestRunCorruptCacheFallsBack(t *testing.T) {
 	if code, _, stderr := runCLI(args...); code != 0 {
 		t.Fatalf("cold exit %d, stderr:\n%s", code, stderr)
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.hybc"))
+	// v2 writes two section files: the seed-specific one and the shared
+	// structural one. Corrupt the seed file; the whole set must be
+	// rejected (no half-warm state).
+	files, err := filepath.Glob(filepath.Join(dir, "*-seed*.hybc"))
 	if err != nil || len(files) != 1 {
 		t.Fatalf("cache files: %v, %v", files, err)
 	}
@@ -139,8 +206,9 @@ func TestRunCorruptCacheFallsBack(t *testing.T) {
 	if !strings.Contains(stdout, "apsp: 10000/10000 pair distances exact") {
 		t.Errorf("cold fallback not exact:\n%s", stdout)
 	}
-	// The run re-saved a good file: the next invocation warm-starts again.
-	if _, _, stderr := runCLI(args...); !strings.Contains(stderr, "warm start: loaded") {
+	// The run re-saved a good file set: the next invocation warm-starts
+	// again, both sections.
+	if _, _, stderr := runCLI(args...); !strings.Contains(stderr, "warm start: loaded structural+seed sections") {
 		t.Errorf("cache was not repaired by the fallback run:\n%s", stderr)
 	}
 }

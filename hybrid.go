@@ -57,6 +57,7 @@ import (
 	"repro/internal/clique"
 	"repro/internal/diameter"
 	"repro/internal/graph"
+	"repro/internal/helpers"
 	"repro/internal/hybridapsp"
 	"repro/internal/kssp"
 	"repro/internal/persist"
@@ -100,6 +101,7 @@ type Network struct {
 	cfg       sim.Config
 	sessions  *routing.SessionCache
 	skeletons *skeleton.ResultCache
+	clusters  *helpers.ClusterCache
 	cacheDir  string
 }
 
@@ -175,6 +177,7 @@ func WithCacheTrace(fn func(event string)) Option {
 	return func(nw *Network) {
 		nw.sessions.SetTrace(fn)
 		nw.skeletons.SetTrace(fn)
+		nw.clusters.SetTrace(fn)
 	}
 }
 
@@ -182,7 +185,12 @@ func WithCacheTrace(fn func(event string)) Option {
 // paper's algorithms to have their guarantees; New does not copy g, and g
 // must not be mutated during runs.
 func New(g *graph.Graph, opts ...Option) *Network {
-	nw := &Network{g: g, sessions: routing.NewSessionCache(), skeletons: skeleton.NewResultCache()}
+	nw := &Network{
+		g:         g,
+		sessions:  routing.NewSessionCache(),
+		skeletons: skeleton.NewResultCache(),
+		clusters:  helpers.NewClusterCache(),
+	}
 	for _, o := range opts {
 		o(nw)
 	}
@@ -202,10 +210,16 @@ func run[T any](nw *Network, p sim.Pipeline[T]) ([]T, Metrics, error) {
 }
 
 // routingParams is the routing configuration every facade run shares: the
-// network's session cache, so repeated calls reuse helper families and
-// hashes whenever the instance parameters and memberships recur.
+// network's session cache (repeated calls reuse helper families and hashes
+// whenever the instance parameters and memberships recur) and the cluster
+// cache (the seed-independent ruling-set/cluster structure is reused per
+// µ, within a run and across runs — including runs warm-started from a
+// different seed's structural cache section).
 func (nw *Network) routingParams() routing.Params {
-	return routing.Params{Cache: nw.sessions}
+	return routing.Params{
+		Cache:   nw.sessions,
+		Helpers: helpers.Params{Clusters: nw.clusters},
+	}
 }
 
 // APSPResult holds a full distance matrix and the run's cost.
@@ -565,16 +579,32 @@ func (nw *Network) TokenRouting(specs []RoutingSpec) ([][]RoutingToken, Metrics,
 var _ clique.Algorithm = (*clique.MM)(nil)
 
 // cacheFormatVersion gates the on-disk warm-start cache format. Bump it
-// whenever the serialized shape of the routing or skeleton snapshots
-// changes; older files are then rejected (clean cold start), never
-// migrated.
-const cacheFormatVersion = 1
+// whenever the serialized shape of any snapshot changes; older files are
+// then rejected (clean cold start), never migrated. v2 split the cache
+// into a seed-independent structural file and a seed-specific file,
+// deduplicated per-cluster state, and flate-compressed the payloads; v1
+// files are rejected with persist.ErrVersion.
+const cacheFormatVersion = 2
 
-// cachePayload is the on-disk warm-start cache: both caches' snapshots
-// plus the instance identity they were recorded under. The identity is
-// redundant with the file name but is validated on load, so a file renamed
-// or copied across instances is rejected instead of trusted.
-type cachePayload struct {
+// structPayload is the on-disk structural section: the seed-independent
+// cluster structures (ruling sets, ruler assignments, member directories)
+// plus the graph identity they were recorded under. One structural file
+// serves every seed of a graph — it is what a cross-seed run warm-starts
+// from.
+type structPayload struct {
+	N           int
+	Fingerprint uint64
+	Clusters    helpers.ClusterSnapshot
+}
+
+// seedPayload is the on-disk seed section: the session and skeleton
+// snapshots (both seed-dependent) plus the full instance identity. Session
+// entries reference cluster structures by (µ, ruler); resolving them needs
+// the structural section, so a seed file is only usable together with its
+// graph's structural file. The identity is redundant with the file name
+// but is validated on load, so a file renamed or copied across instances
+// is rejected instead of trusted.
+type seedPayload struct {
 	N           int
 	Seed        int64
 	Fingerprint uint64
@@ -582,9 +612,9 @@ type cachePayload struct {
 	Skeletons   skeleton.CacheSnapshot
 }
 
-// CachePath returns the file this network's warm-start cache persists to:
-// <cacheDir>/warm-<graph fingerprint>-seed<seed>.hybc. It returns "" when
-// no cache directory is configured (WithCacheDir).
+// CachePath returns the file the network's seed-specific cache section
+// persists to: <cacheDir>/warm-<graph fingerprint>-seed<seed>.hybc. It
+// returns "" when no cache directory is configured (WithCacheDir).
 func (nw *Network) CachePath() string {
 	if nw.cacheDir == "" {
 		return ""
@@ -593,63 +623,201 @@ func (nw *Network) CachePath() string {
 		fmt.Sprintf("warm-%016x-seed%d.hybc", nw.g.Fingerprint(), nw.cfg.Seed))
 }
 
-// SaveCache persists the network's warm-start caches (routing sessions and
-// skeleton results) to the configured cache directory, atomically. A later
-// Network over the same graph and seed can LoadCache the file and skip
-// session and skeleton construction entirely. Must not be called while a
-// run is in flight.
+// StructCachePath returns the file the network's seed-independent
+// structural cache section persists to:
+// <cacheDir>/warm-<graph fingerprint>-struct.hybc — shared by every seed
+// over the same graph. It returns "" when no cache directory is
+// configured.
+func (nw *Network) StructCachePath() string {
+	if nw.cacheDir == "" {
+		return ""
+	}
+	return filepath.Join(nw.cacheDir,
+		fmt.Sprintf("warm-%016x-struct.hybc", nw.g.Fingerprint()))
+}
+
+// SaveCache persists the network's warm-start caches to the configured
+// cache directory, atomically: the seed-independent cluster structures to
+// StructCachePath (shared across seeds) and the session + skeleton
+// snapshots to CachePath. A later Network over the same graph and seed can
+// LoadCache both and skip session and skeleton construction entirely; one
+// over the same graph and a different seed loads the structural section
+// alone and still skips the ruling-set and cluster-formation rounds. Must
+// not be called while a run is in flight.
 func (nw *Network) SaveCache() error {
-	path := nw.CachePath()
-	if path == "" {
+	if nw.cacheDir == "" {
 		return fmt.Errorf("hybrid: no cache directory configured (use WithCacheDir)")
 	}
-	payload := cachePayload{
+	sessions, err := nw.sessions.Snapshot(nw.clusters)
+	if err != nil {
+		return fmt.Errorf("hybrid: snapshotting sessions: %w", err)
+	}
+	skeletons, err := nw.skeletons.Snapshot()
+	if err != nil {
+		return fmt.Errorf("hybrid: snapshotting skeletons: %w", err)
+	}
+	sp := structPayload{
+		N:           nw.g.N(),
+		Fingerprint: nw.g.Fingerprint(),
+		Clusters:    nw.clusters.Snapshot(),
+	}
+	if err := persist.SaveCompressed(nw.StructCachePath(), cacheFormatVersion, sp); err != nil {
+		return err
+	}
+	pl := seedPayload{
 		N:           nw.g.N(),
 		Seed:        nw.cfg.Seed,
 		Fingerprint: nw.g.Fingerprint(),
-		Sessions:    nw.sessions.Snapshot(),
-		Skeletons:   nw.skeletons.Snapshot(),
+		Sessions:    sessions,
+		Skeletons:   skeletons,
 	}
-	return persist.Save(path, cacheFormatVersion, payload)
+	return persist.SaveCompressed(nw.CachePath(), cacheFormatVersion, pl)
 }
 
+// CacheLoadStatus reports which sections of the warm-start cache a
+// LoadCache call restored.
+type CacheLoadStatus struct {
+	// Structural reports that the seed-independent section (cluster
+	// structures) was restored.
+	Structural bool
+	// Seed reports that the seed-specific section (routing sessions and
+	// skeleton results) was restored.
+	Seed bool
+}
+
+// Any reports whether any section was restored.
+func (s CacheLoadStatus) Any() bool { return s.Structural || s.Seed }
+
 // LoadCache restores the warm-start caches from the configured cache
-// directory. It returns (false, nil) when no cache file exists (a normal
-// cold start) and (true, nil) after a successful restore. Every rejection —
-// corrupt file, format-version mismatch, instance mismatch — returns
-// (false, err) and leaves the network with empty caches, so the caller can
-// log the error and proceed cold: a bad cache file never changes results,
-// only the number of setup rounds. Must not be called while a run is in
-// flight.
-func (nw *Network) LoadCache() (bool, error) {
-	path := nw.CachePath()
-	if path == "" {
-		return false, fmt.Errorf("hybrid: no cache directory configured (use WithCacheDir)")
+// directory. Missing files are not errors: a missing structural file is a
+// plain cold start, and a present structural file with a missing seed file
+// is the cross-seed partial warm start (status.Structural true, Seed
+// false) — the run reuses cluster structures and rebuilds the rest. Every
+// rejection — corrupt file, format-version mismatch (including v1 files),
+// instance mismatch, dangling dedup reference — returns a zero status and
+// an error, and leaves ALL caches empty: a bad cache file never changes
+// results, only the number of setup rounds, and a partially trusted file
+// set is never used. Must not be called while a run is in flight.
+func (nw *Network) LoadCache() (CacheLoadStatus, error) {
+	if nw.cacheDir == "" {
+		return CacheLoadStatus{}, fmt.Errorf("hybrid: no cache directory configured (use WithCacheDir)")
 	}
-	var payload cachePayload
-	err := persist.Load(path, cacheFormatVersion, &payload)
-	switch {
-	case err == nil:
-	case os.IsNotExist(err):
-		return false, nil
-	default:
-		return false, fmt.Errorf("hybrid: rejecting warm-start cache: %w", err)
-	}
-	if payload.N != nw.g.N() || payload.Seed != nw.cfg.Seed || payload.Fingerprint != nw.g.Fingerprint() {
-		return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: recorded for n=%d seed=%d graph %016x, this network is n=%d seed=%d graph %016x",
-			path, payload.N, payload.Seed, payload.Fingerprint, nw.g.N(), nw.cfg.Seed, nw.g.Fingerprint())
-	}
-	if err := nw.sessions.Restore(payload.Sessions, nw.g.N()); err != nil {
-		return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w", path, err)
-	}
-	if err := nw.skeletons.Restore(payload.Skeletons, nw.g.N()); err != nil {
-		// The session restore above already succeeded; clear it in place
-		// (preserving any WithCacheTrace hook) so a rejected file leaves
-		// fully empty caches, not half-warm state.
-		if rerr := nw.sessions.Restore(routing.CacheSnapshot{}, nw.g.N()); rerr != nil {
-			return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w (and clearing sessions: %v)", path, err, rerr)
+	status, err := nw.loadCacheSections()
+	if err != nil {
+		// Leave no half-warm state behind: clearing via Restore keeps any
+		// WithCacheTrace hooks installed.
+		n := nw.g.N()
+		if cerr := nw.clusters.Restore(helpers.ClusterSnapshot{}, n); cerr != nil {
+			return CacheLoadStatus{}, fmt.Errorf("%w (and clearing clusters: %v)", err, cerr)
 		}
-		return false, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w", path, err)
+		if cerr := nw.sessions.Restore(routing.CacheSnapshot{}, n, nw.clusters); cerr != nil {
+			return CacheLoadStatus{}, fmt.Errorf("%w (and clearing sessions: %v)", err, cerr)
+		}
+		if cerr := nw.skeletons.Restore(skeleton.CacheSnapshot{}, n); cerr != nil {
+			return CacheLoadStatus{}, fmt.Errorf("%w (and clearing skeletons: %v)", err, cerr)
+		}
+		return CacheLoadStatus{}, err
 	}
-	return true, nil
+	return status, nil
+}
+
+// loadCacheSections restores the structural then the seed section,
+// reporting what it managed; any returned error means the caches may hold
+// partial state and must be cleared by the caller.
+func (nw *Network) loadCacheSections() (CacheLoadStatus, error) {
+	var status CacheLoadStatus
+	n := nw.g.N()
+
+	structPath := nw.StructCachePath()
+	var sp structPayload
+	err := persist.LoadCompressed(structPath, cacheFormatVersion, &sp)
+	switch {
+	case os.IsNotExist(err):
+		// No structural section. A v2 seed file cannot be resolved without
+		// it, so this is a full cold start regardless of the seed file —
+		// unless a file sits at the seed path, which is either the v1
+		// upgrade shape (the v1 release wrote a single file under the same
+		// name; report the version mismatch, not a missing sibling) or an
+		// incomplete v2 set (e.g. the structural file was deleted): reject
+		// loudly rather than silently ignoring a file that was supposed to
+		// warm us.
+		if info, perr := persist.Probe(nw.CachePath()); perr == nil {
+			if info.Version != cacheFormatVersion {
+				return status, fmt.Errorf("hybrid: rejecting warm-start cache: %w: %s: file has format v%d, this build reads v%d",
+					persist.ErrVersion, nw.CachePath(), info.Version, cacheFormatVersion)
+			}
+			return status, fmt.Errorf("hybrid: rejecting warm-start cache %s: seed section present but structural section %s is missing",
+				nw.CachePath(), structPath)
+		} else if !os.IsNotExist(perr) {
+			return status, fmt.Errorf("hybrid: rejecting warm-start cache: %w", perr)
+		}
+		return status, nil
+	case err != nil:
+		return status, fmt.Errorf("hybrid: rejecting warm-start cache: %w", err)
+	}
+	if sp.N != n || sp.Fingerprint != nw.g.Fingerprint() {
+		return status, fmt.Errorf("hybrid: rejecting warm-start cache %s: recorded for n=%d graph %016x, this network is n=%d graph %016x",
+			structPath, sp.N, sp.Fingerprint, n, nw.g.Fingerprint())
+	}
+	if err := nw.clusters.Restore(sp.Clusters, n); err != nil {
+		return status, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w", structPath, err)
+	}
+	status.Structural = true
+
+	seedPath := nw.CachePath()
+	var pl seedPayload
+	err = persist.LoadCompressed(seedPath, cacheFormatVersion, &pl)
+	switch {
+	case os.IsNotExist(err):
+		return status, nil // cross-seed partial warm start
+	case err != nil:
+		return status, fmt.Errorf("hybrid: rejecting warm-start cache: %w", err)
+	}
+	if pl.N != n || pl.Seed != nw.cfg.Seed || pl.Fingerprint != nw.g.Fingerprint() {
+		return status, fmt.Errorf("hybrid: rejecting warm-start cache %s: recorded for n=%d seed=%d graph %016x, this network is n=%d seed=%d graph %016x",
+			seedPath, pl.N, pl.Seed, pl.Fingerprint, n, nw.cfg.Seed, nw.g.Fingerprint())
+	}
+	if err := nw.skeletons.Restore(pl.Skeletons, n); err != nil {
+		return status, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w", seedPath, err)
+	}
+	if err := nw.sessions.Restore(pl.Sessions, n, nw.clusters); err != nil {
+		return status, fmt.Errorf("hybrid: rejecting warm-start cache %s: %w", seedPath, err)
+	}
+	status.Seed = true
+	return status, nil
+}
+
+// CacheFileInfo describes one on-disk warm-start cache section file, for
+// diagnostics (hybridsim's cache summary).
+type CacheFileInfo struct {
+	// Path is the section's file path ("" when no cache dir is set).
+	Path string
+	// Exists reports whether a well-formed cache header was found there.
+	Exists bool
+	// Version is the format version the file claims (compare against 2;
+	// a v1 file is reported as Version 1, not an error).
+	Version uint32
+	// Bytes is the total file size on disk.
+	Bytes int64
+}
+
+// CacheFiles probes the two cache section files without decoding their
+// payloads: cheap size/format diagnostics for CLI summaries. Malformed or
+// missing files report Exists false.
+func (nw *Network) CacheFiles() (structural, seed CacheFileInfo) {
+	probe := func(path string) CacheFileInfo {
+		info := CacheFileInfo{Path: path}
+		if path == "" {
+			return info
+		}
+		pi, err := persist.Probe(path)
+		if err != nil {
+			return info
+		}
+		info.Exists = true
+		info.Version = pi.Version
+		info.Bytes = pi.FileBytes
+		return info
+	}
+	return probe(nw.StructCachePath()), probe(nw.CachePath())
 }

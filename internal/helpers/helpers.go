@@ -64,6 +64,13 @@ type Params struct {
 	// QBoost scales the join probability q = min(QBoost*2µ/|C|, 1).
 	// Zero means 2.
 	QBoost int
+	// Clusters, if non-nil, reuses the seed-independent cluster structure
+	// (ruling set, ruler assignment, member directories — all deterministic
+	// functions of the graph and µ) across constructions with the same µ,
+	// paying one 2·ceil(log2 n)-round collective agreement plus a 2β-round
+	// W-membership flood instead of the full ruling-set, cluster-formation
+	// and member-flood phases on a hit. See ClusterCache.
+	Clusters *ClusterCache
 }
 
 func (p Params) withDefaults() Params {
@@ -85,13 +92,25 @@ func Rounds(n, mu int) int {
 }
 
 // Compute runs Algorithm 1 collectively. All nodes must call it in the same
-// round with the same µ and params; it takes exactly Rounds(n, µ) rounds and
-// uses only the local network.
+// round with the same µ and params; without a cluster cache it takes exactly
+// Rounds(n, µ) rounds and uses only the local network. With Params.Clusters
+// set it additionally runs the 2·ceil(log2 n)-round collective agreement
+// first, and a hit replaces the first two thirds of the construction with
+// the cached structure (see ClusterCache).
 func Compute(env *sim.Env, inW bool, mu int, params Params) Result {
 	p := params.withDefaults()
 	if mu < 1 {
 		mu = 1
 	}
+	if p.Clusters != nil {
+		return p.Clusters.compute(env, inW, mu, p)
+	}
+	return computeCold(env, inW, mu, p)
+}
+
+// computeCold is the uncached Algorithm 1 construction: the ruling set,
+// cluster formation, member flooding, and helper sampling.
+func computeCold(env *sim.Env, inW bool, mu int, p Params) Result {
 	n := env.N()
 	beta := 2 * mu * sim.Log2Ceil(n)
 
@@ -167,19 +186,28 @@ func Compute(env *sim.Env, inW bool, mu int, params Params) Result {
 	sort.Ints(res.Members)
 	sort.Ints(res.WMembers)
 
-	// Phase 4: sample helper memberships with q = min(QBoost*2µ/|C|, 1).
-	// Every w ∈ W additionally joins its own helper set deterministically:
-	// that guarantees H_w is never empty even when the w.h.p. sampling bound
-	// fails at small n, costs each node at most one extra membership, and
-	// keeps properties (1)-(3) intact (hop(w,w) = 0).
-	clusterSize := len(res.Members)
+	res.Helps = sampleHelps(env, p, mu, len(res.Members), res.WMembers)
+	return res
+}
+
+// sampleHelps runs phase 4 of Algorithm 1: sample helper memberships with
+// q = min(QBoost*2µ/|C|, 1). Every w ∈ W additionally joins its own helper
+// set deterministically: that guarantees H_w is never empty even when the
+// w.h.p. sampling bound fails at small n, costs each node at most one
+// extra membership, and keeps properties (1)-(3) intact (hop(w,w) = 0).
+// Shared by the cold and cluster-cached paths of both execution forms; it
+// consumes exactly one random draw per non-self W member below the
+// saturation bound, so the rand-stream position after Compute is identical
+// whichever path ran.
+func sampleHelps(env *sim.Env, p Params, mu, clusterSize int, wMembers []int) []int {
 	num := p.QBoost * 2 * mu
-	for _, w := range res.WMembers {
+	var helps []int
+	for _, w := range wMembers {
 		if w == env.ID() || num >= clusterSize || env.Rand().Intn(clusterSize) < num {
-			res.Helps = append(res.Helps, w)
+			helps = append(helps, w)
 		}
 	}
-	return res
+	return helps
 }
 
 // CheckFamily verifies Definition 2.1 over a full set of per-node results

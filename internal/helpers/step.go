@@ -3,6 +3,7 @@ package helpers
 import (
 	"sort"
 
+	"repro/internal/ncc"
 	"repro/internal/ruling"
 	"repro/internal/sim"
 )
@@ -19,16 +20,97 @@ type Machine struct {
 }
 
 // NewMachine builds the collective Algorithm 1 machine; all nodes must
-// start it in the same round with the same µ and params. It takes exactly
-// Rounds(n, µ) rounds, like Compute.
+// start it in the same round with the same µ and params, exactly like
+// Compute. With params.Clusters set it is the step form of the
+// cluster-cached construction: the collective agreement aggregation, then
+// either the structural shortcut (cached ruler assignment and member
+// directory, the 2β-round W flood, fresh helper sampling) or the full
+// build re-populating the cache — the same rounds, messages, and branch
+// as the goroutine form.
 func NewMachine(env *sim.Env, inW bool, mu int, params Params) *Machine {
 	p := params.withDefaults()
 	if mu < 1 {
 		mu = 1
 	}
+	m := &Machine{}
+	if p.Clusters == nil {
+		m.prog = newColdProg(env, m, inW, mu, p)
+		return m
+	}
+	entry := p.Clusters.lookup(mu)
+	inner := &Machine{}
+	var agg *ncc.AggregateMachine
+	var wf *wFloodMachine
+	var ruler, dist int
+	var members []int
+	m.prog = sim.Sequence(
+		func(env *sim.Env) sim.StepProgram {
+			agg = ncc.NewAggregateMachine(env, entry.mismatch(env.ID()), ncc.AggMax)
+			return agg
+		},
+		func(env *sim.Env) sim.StepProgram {
+			hit := agg.Out == 0
+			p.Clusters.traceEvent(env, mu, hit)
+			if hit {
+				ruler, dist, members = entry.bind(env.ID())
+				wf = newWFloodMachine(env, inW, ruler, 2*clusterBeta(env.N(), mu))
+				return wf
+			}
+			inner.prog = newColdProg(env, inner, inW, mu, p)
+			return inner
+		},
+		sim.Finish(func(env *sim.Env) {
+			if agg.Out == 0 {
+				m.Res = finishFromCluster(env, p, mu, ruler, dist, members, wf.WMembers(), inW)
+				return
+			}
+			m.Res = inner.Res
+			p.Clusters.shared(env, mu).store(env.ID(), inner.Res)
+		}),
+	)
+	return m
+}
+
+// wFloodMachine is the step form of floodW: the 2β-round W-membership
+// flood of the structural-hit path.
+type wFloodMachine struct {
+	seen  map[int]bool
+	delta wRecs
+	loop  sim.Loop
+}
+
+func newWFloodMachine(env *sim.Env, inW bool, ruler int, rounds int) *wFloodMachine {
+	w := &wFloodMachine{seen: map[int]bool{}}
+	if inW {
+		w.seen[env.ID()] = true
+		w.delta = wRecs{{ID: env.ID(), Ruler: ruler}}
+	}
+	w.loop = sim.Loop{
+		Rounds: rounds,
+		Send: func(env *sim.Env, i int) {
+			if len(w.delta) > 0 {
+				env.BroadcastLocal(w.delta)
+			}
+		},
+		Recv: func(env *sim.Env, in sim.Inbox, i int) {
+			w.delta = collectW(env, in, ruler, w.seen)
+		},
+	}
+	return w
+}
+
+// Step implements sim.StepProgram.
+func (w *wFloodMachine) Step(env *sim.Env) bool { return w.loop.Step(env) }
+
+// WMembers returns the sorted W members of this node's cluster; valid once
+// Step returned true.
+func (w *wFloodMachine) WMembers() []int { return sortedKeys(w.seen) }
+
+// newColdProg is the uncached Algorithm 1 machine, writing the finished
+// result to m.Res (the step twin of computeCold).
+func newColdProg(env *sim.Env, m *Machine, inW bool, mu int, p Params) sim.StepProgram {
 	n := env.N()
 	beta := 2 * mu * sim.Log2Ceil(n)
-	m := &Machine{}
 
 	var rule *ruling.Machine
 	// Phase 2 state: the lexicographically smallest (dist, ruler) heard.
@@ -38,7 +120,7 @@ func NewMachine(env *sim.Env, inW bool, mu int, params Params) *Machine {
 	var known map[int]memberRec
 	var delta memberRecs
 
-	m.prog = sim.Sequence(
+	return sim.Sequence(
 		func(env *sim.Env) sim.StepProgram {
 			rule = ruling.NewMachine(env, mu)
 			return rule
@@ -117,17 +199,10 @@ func NewMachine(env *sim.Env, inW bool, mu int, params Params) *Machine {
 			}
 			sort.Ints(res.Members)
 			sort.Ints(res.WMembers)
-			clusterSize := len(res.Members)
-			num := p.QBoost * 2 * mu
-			for _, w := range res.WMembers {
-				if w == env.ID() || num >= clusterSize || env.Rand().Intn(clusterSize) < num {
-					res.Helps = append(res.Helps, w)
-				}
-			}
+			res.Helps = sampleHelps(env, p, mu, len(res.Members), res.WMembers)
 			m.Res = res
 		}),
 	)
-	return m
 }
 
 // Step implements sim.StepProgram.

@@ -1,0 +1,115 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Compact integer-vector codecs for the v2 cache payload. The snapshots'
+// bulk is sorted ID lists (cluster members, helper sets, skeleton
+// neighborhoods) and small non-negative values (distances, hop counts);
+// delta-coding the sorted lists and varint-coding everything makes gob
+// store one tight []byte per vector instead of a reflected []int, and
+// gives the flate layer highly repetitive input. Decoders validate
+// exhaustively — any length mismatch, overflow, or ordering violation is
+// an error, never a silent partial decode — because these bytes arrive
+// from disk and feed the warm-start caches.
+
+// errPack marks a malformed packed integer vector.
+var errPack = errors.New("persist: malformed packed int vector")
+
+// PackSorted encodes a strictly increasing slice of non-negative ints as a
+// count followed by varint deltas (the first delta is from -1, so 0 is
+// representable). PackSorted panics on unsorted or negative input: the
+// callers encode slices they constructed sorted, so a violation is a
+// programming error, not a data error.
+func PackSorted(ids []int) []byte {
+	buf := make([]byte, 0, 1+len(ids))
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := -1
+	for _, id := range ids {
+		if id <= prev {
+			panic(fmt.Errorf("persist: PackSorted input not strictly increasing at %d (prev %d)", id, prev))
+		}
+		buf = binary.AppendUvarint(buf, uint64(id-prev))
+		prev = id
+	}
+	return buf
+}
+
+// UnpackSorted decodes a PackSorted vector, validating that the buffer is
+// consumed exactly and that every value fits an int.
+func UnpackSorted(data []byte) ([]int, error) {
+	count, pos, err := unpackCount(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, count)
+	prev := -1
+	for i := 0; i < count; i++ {
+		d, n := binary.Uvarint(data[pos:])
+		if n <= 0 || d == 0 {
+			return nil, fmt.Errorf("%w: bad delta at entry %d", errPack, i)
+		}
+		// prev+d must fit an int. prev+1 is in [0, maxInt] whenever
+		// prev < maxInt, so the headroom maxInt-prev is computable in
+		// uint64 without the wrap a naive uint64(prev) conversion has at
+		// prev = -1.
+		if prev == maxInt || d > uint64(maxInt)-uint64(prev+1)+1 {
+			return nil, fmt.Errorf("%w: delta overflow at entry %d", errPack, i)
+		}
+		pos += n
+		prev += int(d)
+		out = append(out, prev)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errPack, len(data)-pos)
+	}
+	return out, nil
+}
+
+// PackInt64s encodes an arbitrary int64 slice as a count followed by
+// zigzag varints.
+func PackInt64s(vals []int64) []byte {
+	buf := make([]byte, 0, 1+len(vals))
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// UnpackInt64s decodes a PackInt64s vector, validating exact consumption.
+func UnpackInt64s(data []byte) ([]int64, error) {
+	count, pos, err := unpackCount(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, count)
+	for i := 0; i < count; i++ {
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad value at entry %d", errPack, i)
+		}
+		pos += n
+		out = append(out, v)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errPack, len(data)-pos)
+	}
+	return out, nil
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// unpackCount reads the leading element count and bounds it by the buffer
+// size (every element takes at least one byte), so a corrupt count can
+// never drive a giant allocation.
+func unpackCount(data []byte) (count, pos int, err error) {
+	c, n := binary.Uvarint(data)
+	if n <= 0 || c > uint64(len(data)) {
+		return 0, 0, fmt.Errorf("%w: bad count", errPack)
+	}
+	return int(c), n, nil
+}

@@ -15,11 +15,13 @@ package persist
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -47,7 +49,32 @@ func Save(path string, version uint32, payload interface{}) error {
 	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
 		return fmt.Errorf("persist: encoding cache payload: %w", err)
 	}
-	body := buf.Bytes()
+	return writeFile(path, version, buf.Bytes())
+}
+
+// SaveCompressed is Save with a flate-compressed body: the gob stream is
+// deflated before the header is computed, so the length and checksum cover
+// the bytes actually on disk. Readers must use LoadCompressed; the caller's
+// version constant is what tells the two body encodings apart (the v2 cache
+// format is compressed, v1 was not).
+func SaveCompressed(path string, version uint32, payload interface{}) error {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("persist: creating compressor: %w", err)
+	}
+	if err := gob.NewEncoder(zw).Encode(payload); err != nil {
+		return fmt.Errorf("persist: encoding cache payload: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("persist: compressing cache payload: %w", err)
+	}
+	return writeFile(path, version, buf.Bytes())
+}
+
+// writeFile frames body with the integrity header and installs it at path
+// atomically (temp file + rename), creating parent directories as needed.
+func writeFile(path string, version uint32, body []byte) error {
 	h := fnv.New64a()
 	h.Write(body)
 
@@ -80,27 +107,97 @@ func Save(path string, version uint32, payload interface{}) error {
 // place), so callers must decode into a scratch value and only adopt it on
 // success.
 func Load(path string, version uint32, out interface{}) error {
-	data, err := os.ReadFile(path)
+	body, err := readBody(path, version)
 	if err != nil {
 		return err
-	}
-	if len(data) < headerLen || !bytes.Equal(data[0:4], magic[:]) {
-		return fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
-	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
-		return fmt.Errorf("%w: %s: file has format v%d, this build reads v%d", ErrVersion, path, v, version)
-	}
-	body := data[headerLen:]
-	if wantLen := binary.LittleEndian.Uint64(data[8:16]); wantLen != uint64(len(body)) {
-		return fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, path, len(body), wantLen)
-	}
-	h := fnv.New64a()
-	h.Write(body)
-	if wantSum := binary.LittleEndian.Uint64(data[16:24]); wantSum != h.Sum64() {
-		return fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(out); err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 	}
 	return nil
+}
+
+// LoadCompressed is Load for files written by SaveCompressed: the verified
+// body is inflated before gob decoding. A flate stream that fails to
+// decompress — e.g. a payload truncated before compression, which the
+// checksum cannot catch — is reported as ErrCorrupt like any other
+// malformed content.
+func LoadCompressed(path string, version uint32, out interface{}) error {
+	body, err := readBody(path, version)
+	if err != nil {
+		return err
+	}
+	zr := flate.NewReader(bytes.NewReader(body))
+	defer zr.Close()
+	if err := gob.NewDecoder(zr).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	// Trailing garbage after the gob value must still be a well-formed end
+	// of stream, or the file was stitched together from two payloads.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}
+
+// readBody reads path and validates the integrity header against version,
+// returning the raw (possibly compressed) body bytes.
+func readBody(path string, version uint32) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerLen || !bytes.Equal(data[0:4], magic[:]) {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
+		return nil, fmt.Errorf("%w: %s: file has format v%d, this build reads v%d", ErrVersion, path, v, version)
+	}
+	body := data[headerLen:]
+	if wantLen := binary.LittleEndian.Uint64(data[8:16]); wantLen != uint64(len(body)) {
+		return nil, fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, path, len(body), wantLen)
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	if wantSum := binary.LittleEndian.Uint64(data[16:24]); wantSum != h.Sum64() {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	return body, nil
+}
+
+// Info describes a cache file's header, read without decoding the payload
+// (Probe). Version is whatever the file claims — callers compare it against
+// their own constant to report v1-vs-v2 in diagnostics.
+type Info struct {
+	// Version is the format version recorded in the header.
+	Version uint32
+	// PayloadBytes is the body length recorded in the header (compressed
+	// size for compressed formats).
+	PayloadBytes int64
+	// FileBytes is the total on-disk size including the header.
+	FileBytes int64
+}
+
+// Probe reads only a file's integrity header and reports its format
+// version and sizes. It validates the magic and the recorded length, but
+// not the checksum (the point is cheap diagnostics, not admission); a
+// missing file returns the fs error, a non-cache file ErrCorrupt.
+func Probe(path string) (Info, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, err
+	}
+	if len(data) < headerLen || !bytes.Equal(data[0:4], magic[:]) {
+		return Info{}, fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
+	}
+	info := Info{
+		Version:      binary.LittleEndian.Uint32(data[4:8]),
+		PayloadBytes: int64(binary.LittleEndian.Uint64(data[8:16])),
+		FileBytes:    int64(len(data)),
+	}
+	if info.PayloadBytes != info.FileBytes-headerLen {
+		return Info{}, fmt.Errorf("%w: %s: payload is %d bytes, header says %d",
+			ErrCorrupt, path, info.FileBytes-headerLen, info.PayloadBytes)
+	}
+	return info, nil
 }

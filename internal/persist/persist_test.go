@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -113,5 +114,164 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 	}
 	if got.Name != "new" {
 		t.Errorf("got %q, want the overwritten payload", got.Name)
+	}
+}
+
+// TestCompressedRoundTrip pins the v2 codec: a compressed save loads back
+// identically, is actually smaller than the raw save for repetitive
+// payloads, and Probe reports its header without decoding.
+func TestCompressedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	big := payload{Name: "big", Table: map[int][]int{}}
+	for i := 0; i < 2000; i++ {
+		big.Vals = append(big.Vals, int64(i%7))
+		big.Table[i] = []int{1, 2, 3, 4, 5}
+	}
+	raw := filepath.Join(dir, "raw.hybc")
+	packed := filepath.Join(dir, "packed.hybc")
+	if err := Save(raw, 2, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCompressed(packed, 2, big); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := LoadCompressed(packed, 2, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, big) {
+		t.Error("compressed round trip diverged")
+	}
+	rawInfo, err := Probe(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedInfo, err := Probe(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packedInfo.FileBytes >= rawInfo.FileBytes {
+		t.Errorf("compression grew the file: %d vs raw %d", packedInfo.FileBytes, rawInfo.FileBytes)
+	}
+	if packedInfo.Version != 2 || packedInfo.PayloadBytes != packedInfo.FileBytes-int64(headerLen) {
+		t.Errorf("probe reported %+v", packedInfo)
+	}
+}
+
+// TestLoadCompressedTruncatedStream pins the failure mode the outer
+// checksum cannot catch: a file whose header and checksum are valid but
+// whose flate stream was truncated before framing. It must be ErrCorrupt.
+func TestLoadCompressedTruncatedStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.hybc")
+	big := samplePayload()
+	for i := 0; i < 500; i++ {
+		big.Vals = append(big.Vals, int64(i))
+	}
+	if err := SaveCompressed(path, 2, big); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the compressed body, then re-frame it with a fresh, valid
+	// header so only the flate layer can notice.
+	body := data[headerLen : len(data)-20]
+	if err := writeFile(path, 2, body); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := LoadCompressed(path, 2, &got); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated compressed payload: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestProbeErrors pins Probe's rejection of non-cache files.
+func TestProbeErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Probe(filepath.Join(dir, "absent.hybc")); !os.IsNotExist(err) {
+		t.Errorf("missing file: got %v, want IsNotExist", err)
+	}
+	junk := filepath.Join(dir, "junk.hybc")
+	if err := os.WriteFile(junk, []byte("not a cache file at all......."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Probe(junk); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("junk file: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestPackUnpackVectors pins the varint codecs: round trips, strictness of
+// the sorted decoder, and rejection of malformed buffers.
+func TestPackUnpackVectors(t *testing.T) {
+	for _, ids := range [][]int{nil, {0}, {0, 1, 2}, {5, 100, 101, 1 << 30}} {
+		got, err := UnpackSorted(PackSorted(ids))
+		if err != nil {
+			t.Fatalf("%v: %v", ids, err)
+		}
+		if len(got) != len(ids) || (len(ids) > 0 && !reflect.DeepEqual(got, ids)) {
+			t.Errorf("sorted round trip %v -> %v", ids, got)
+		}
+	}
+	for _, vals := range [][]int64{nil, {0}, {-5, 7, 1 << 62, -(1 << 62)}} {
+		got, err := UnpackInt64s(PackInt64s(vals))
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(got) != len(vals) || (len(vals) > 0 && !reflect.DeepEqual(got, vals)) {
+			t.Errorf("int64 round trip %v -> %v", vals, got)
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PackSorted accepted unsorted input")
+			}
+		}()
+		PackSorted([]int{3, 2})
+	}()
+
+	bad := map[string][]byte{
+		"empty":          {},
+		"huge count":     {0xff, 0xff, 0xff, 0xff, 0x01},
+		"missing deltas": PackSorted([]int{1, 2, 3})[:2],
+		"trailing":       append(PackSorted([]int{1, 2}), 0x05),
+		"zero delta":     {2, 1, 0}, // count 2, delta 1, delta 0 (not increasing)
+	}
+	for name, buf := range bad {
+		if _, err := UnpackSorted(buf); err == nil {
+			t.Errorf("UnpackSorted accepted %s", name)
+		}
+	}
+	if _, err := UnpackInt64s(append(PackInt64s([]int64{1}), 0x09)); err == nil {
+		t.Error("UnpackInt64s accepted trailing bytes")
+	}
+}
+
+// TestUnpackSortedOverflow pins the int-overflow guard of the delta
+// decoder: a first delta of exactly maxInt+1 (from the implicit -1) is
+// the largest representable element and must decode; anything past it —
+// a bigger first delta, or any further delta once prev sits at maxInt —
+// must be rejected, never silently wrapped.
+func TestUnpackSortedOverflow(t *testing.T) {
+	maxInt := int(^uint(0) >> 1)
+
+	exact := binary.AppendUvarint([]byte{1}, uint64(maxInt)+1)
+	got, err := UnpackSorted(exact)
+	if err != nil || len(got) != 1 || got[0] != maxInt {
+		t.Errorf("delta to maxInt: got %v, %v", got, err)
+	}
+
+	over := binary.AppendUvarint([]byte{1}, uint64(maxInt)+2)
+	if _, err := UnpackSorted(over); err == nil {
+		t.Error("delta past maxInt accepted")
+	}
+
+	past := binary.AppendUvarint([]byte{2}, uint64(maxInt)+1)
+	past = binary.AppendUvarint(past, 1)
+	if _, err := UnpackSorted(past); err == nil {
+		t.Error("delta beyond a maxInt element accepted")
 	}
 }

@@ -2,11 +2,13 @@ package routing
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/bitrand"
 	"repro/internal/helpers"
 	"repro/internal/ncc"
+	"repro/internal/persist"
 	"repro/internal/sim"
 )
 
@@ -199,8 +201,20 @@ func (c *SessionCache) session(env *sim.Env, inS, inR bool, key sessionKey, muS,
 }
 
 // CacheSnapshot is the serializable image of a SessionCache, produced by
-// Snapshot and consumed by Restore. Entries preserve insertion order so a
-// restored cache keeps the same deterministic FIFO eviction sequence.
+// Snapshot and consumed by Restore — the seed-dependent "session section"
+// of the v2 on-disk warm-start cache. Entries preserve insertion order so
+// a restored cache keeps the same deterministic FIFO eviction sequence.
+//
+// The layout is deduplicated: data that Algorithm 1 makes identical across
+// every member of a cluster — the W membership and the cluster-local
+// helper directory — is stored once per ruler instead of once per node,
+// the broadcast hash seed is stored once per entry instead of once per
+// node, and the cluster structure itself (ruler assignment, member
+// directories) is not stored at all: it is seed-independent, lives in the
+// structural section (helpers.ClusterSnapshot), and is re-attached by
+// reference on Restore. MyOwners is recomputed from the directory. A v1
+// snapshot stored all of this per node, which multiplied every shared
+// structure by the cluster size (~244 MB at n=4096).
 type CacheSnapshot struct {
 	Entries []SessionEntrySnapshot
 }
@@ -215,75 +229,220 @@ type SessionKeySnapshot struct {
 	QBoost      int
 }
 
-// FamilySnapshot is one node's serialized view of one helper family: the
-// Algorithm 1 output, the cluster-local helper directory, and the owners
-// this node helps.
+// FamilySnapshot is one helper family of one cached session, deduplicated
+// per cluster. Rulers lists the clusters that have members among the
+// filled slots, in first-seen node order; WMembers, HelperOwners and
+// HelperSets are parallel to it. All ID vectors are packed with
+// persist.PackSorted.
 type FamilySnapshot struct {
-	Res        helpers.Result
-	HelperSets map[int][]int
-	MyOwners   []int
+	// Rulers lists the cluster rulers with stored per-cluster data.
+	Rulers []int
+	// WMembers[i] is the packed sorted W membership of Rulers[i]'s cluster.
+	WMembers [][]byte
+	// HelperOwners[i] packs the sorted owner IDs (the w of each H_w) of
+	// Rulers[i]'s helper directory; HelperSets[i][j] packs the sorted
+	// helper set of the j-th owner.
+	HelperOwners [][]byte
+	HelperSets   [][][]byte
+	// Helps[id] packs the owners node id helps (per-node data; nil for
+	// unfilled slots).
+	Helps [][]byte
 }
 
-// SessionEntrySnapshot is one cached session: its key and every node's
-// slot. HashSeed holds each node's k-wise hash coefficients (nil for
-// unfilled slots); the hash is reconstructed with bitrand.FromSeed.
+// SessionEntrySnapshot is one cached session: its key, the per-node
+// membership bits, the (single, broadcast-shared) hash seed, and the two
+// deduplicated families.
 type SessionEntrySnapshot struct {
 	Key      SessionKeySnapshot
 	Filled   []bool
 	InS, InR []bool
-	FamS     []FamilySnapshot
-	FamR     []FamilySnapshot
-	HashSeed [][]uint64
+	// HashSeed holds the k-wise hash coefficients. Node 0 draws the seed
+	// and broadcasts it during session construction, so every node's hash
+	// is identical — one copy serves all slots.
+	HashSeed []uint64
+	FamS     FamilySnapshot
+	FamR     FamilySnapshot
 }
 
-// Snapshot captures the cache's current contents for persistence. The
-// returned snapshot shares the per-node maps and slices with the cache;
-// callers must serialize (or deep-copy) it before the cache is used again.
-func (c *SessionCache) Snapshot() CacheSnapshot {
+// Snapshot captures the cache's current contents for persistence,
+// deduplicating per-cluster state against the structural cluster cache
+// the snapshot's references will later be resolved with. Entries whose
+// structural dependencies are not (or no longer) present in clusters —
+// the two 16-entry caches evict independently, so a wide parameter sweep
+// can outlive a session's µ entries — are silently omitted: a session
+// that cannot be restored must not be written, or the file set would be
+// rejected wholesale on every later load. The packed vectors are fresh
+// copies, but bool slices are shared with the cache; callers must
+// serialize the snapshot before the cache is used again.
+func (c *SessionCache) Snapshot(clusters *helpers.ClusterCache) (CacheSnapshot, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	snap := CacheSnapshot{Entries: make([]SessionEntrySnapshot, 0, len(c.order))}
 	for _, key := range c.order {
 		e := c.entries[key]
-		n := len(e.filled)
+		if !snapshotResolvable(e, key, clusters) {
+			continue
+		}
 		es := SessionEntrySnapshot{
 			Key: SessionKeySnapshot{
 				KS: key.kS, KR: key.kR, PS: key.pS, PR: key.pR,
 				MuS: key.muS, MuR: key.muR,
 				HashKFactor: key.hashKFactor, QBoost: key.qBoost,
 			},
-			Filled:   e.filled,
-			InS:      e.inS,
-			InR:      e.inR,
-			FamS:     make([]FamilySnapshot, n),
-			FamR:     make([]FamilySnapshot, n),
-			HashSeed: make([][]uint64, n),
+			Filled: e.filled,
+			InS:    e.inS,
+			InR:    e.inR,
 		}
-		for id := 0; id < n; id++ {
-			if !e.filled[id] {
-				continue
+		for id := range e.filled {
+			if e.filled[id] {
+				if e.hash[id] == nil {
+					return CacheSnapshot{}, fmt.Errorf("routing: snapshot: node %d filled but has no hash", id)
+				}
+				es.HashSeed = e.hash[id].Seed()
+				break
 			}
-			es.FamS[id] = FamilySnapshot{Res: e.famS[id].res, HelperSets: e.famS[id].helperSets, MyOwners: e.famS[id].myOwners}
-			es.FamR[id] = FamilySnapshot{Res: e.famR[id].res, HelperSets: e.famR[id].helperSets, MyOwners: e.famR[id].myOwners}
-			es.HashSeed[id] = e.hash[id].Seed()
 		}
+		es.FamS = snapshotFamily(e.famS, e.filled)
+		es.FamR = snapshotFamily(e.famR, e.filled)
 		snap.Entries = append(snap.Entries, es)
 	}
-	return snap
+	return snap, nil
+}
+
+// snapshotResolvable reports whether every filled slot of e can be
+// re-attached from clusters on restore: the µ entries exist, each node's
+// slot is populated, and the structural ruler agrees with the one the
+// session was built under (both are deterministic, so a disagreement
+// means the structural entry is not this session's).
+func snapshotResolvable(e *sessionEntry, key sessionKey, clusters *helpers.ClusterCache) bool {
+	if clusters == nil {
+		return false
+	}
+	for id, filled := range e.filled {
+		if !filled {
+			continue
+		}
+		for _, fam := range []struct {
+			mu    int
+			ruler int
+		}{{key.muS, e.famS[id].res.Ruler}, {key.muR, e.famR[id].res.Ruler}} {
+			ruler, _, _, ok := clusters.Structure(fam.mu, id)
+			if !ok || ruler != fam.ruler {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// snapshotFamily dedups one family's per-node slots into the per-cluster
+// layout: the first filled member of each cluster contributes the shared
+// W membership and helper directory (identical at every member by
+// construction — cluster-local flooding), every filled node contributes
+// only its own Helps list.
+func snapshotFamily(fams []familySnap, filled []bool) FamilySnapshot {
+	fs := FamilySnapshot{Helps: make([][]byte, len(fams))}
+	seen := map[int]bool{}
+	for id, f := range fams {
+		if !filled[id] {
+			continue
+		}
+		ruler := f.res.Ruler
+		if !seen[ruler] {
+			seen[ruler] = true
+			fs.Rulers = append(fs.Rulers, ruler)
+			fs.WMembers = append(fs.WMembers, persist.PackSorted(f.res.WMembers))
+			owners := make([]int, 0, len(f.helperSets))
+			for w := range f.helperSets {
+				owners = append(owners, w)
+			}
+			sort.Ints(owners)
+			sets := make([][]byte, len(owners))
+			for j, w := range owners {
+				sets[j] = persist.PackSorted(f.helperSets[w])
+			}
+			fs.HelperOwners = append(fs.HelperOwners, persist.PackSorted(owners))
+			fs.HelperSets = append(fs.HelperSets, sets)
+		}
+		fs.Helps[id] = persist.PackSorted(f.res.Helps)
+	}
+	return fs
+}
+
+// familyDir is one decoded per-cluster record of a FamilySnapshot.
+type familyDir struct {
+	wMembers   []int
+	helperSets map[int][]int
+}
+
+// decodeFamily unpacks a FamilySnapshot's per-cluster tables, validating
+// IDs against n.
+func decodeFamily(fs FamilySnapshot, n int) (map[int]*familyDir, error) {
+	if len(fs.WMembers) != len(fs.Rulers) || len(fs.HelperOwners) != len(fs.Rulers) || len(fs.HelperSets) != len(fs.Rulers) {
+		return nil, fmt.Errorf("routing: family snapshot has %d rulers but %d/%d/%d tables",
+			len(fs.Rulers), len(fs.WMembers), len(fs.HelperOwners), len(fs.HelperSets))
+	}
+	dirs := make(map[int]*familyDir, len(fs.Rulers))
+	for i, ruler := range fs.Rulers {
+		if _, dup := dirs[ruler]; dup {
+			return nil, fmt.Errorf("routing: family snapshot has duplicate ruler %d", ruler)
+		}
+		wm, err := unpackIDs(fs.WMembers[i], n)
+		if err != nil {
+			return nil, fmt.Errorf("routing: family snapshot ruler %d W members: %w", ruler, err)
+		}
+		owners, err := unpackIDs(fs.HelperOwners[i], n)
+		if err != nil {
+			return nil, fmt.Errorf("routing: family snapshot ruler %d owners: %w", ruler, err)
+		}
+		if len(fs.HelperSets[i]) != len(owners) {
+			return nil, fmt.Errorf("routing: family snapshot ruler %d has %d helper sets for %d owners",
+				ruler, len(fs.HelperSets[i]), len(owners))
+		}
+		sets := make(map[int][]int, len(owners))
+		for j, w := range owners {
+			hs, err := unpackIDs(fs.HelperSets[i][j], n)
+			if err != nil {
+				return nil, fmt.Errorf("routing: family snapshot ruler %d H_%d: %w", ruler, w, err)
+			}
+			sets[w] = hs
+		}
+		dirs[ruler] = &familyDir{wMembers: wm, helperSets: sets}
+	}
+	return dirs, nil
+}
+
+// unpackIDs decodes a packed sorted ID vector and range-checks it.
+func unpackIDs(data []byte, n int) ([]int, error) {
+	ids, err := persist.UnpackSorted(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) > 0 && ids[len(ids)-1] >= n {
+		return nil, fmt.Errorf("node ID %d out of range (n=%d)", ids[len(ids)-1], n)
+	}
+	return ids, nil
 }
 
 // Restore replaces the cache's contents with a snapshot recorded for an
-// n-node graph, validating shape. Restoring a snapshot recorded under a
-// different seed is safe — the collective membership agreement degrades
-// every stale entry to a rebuild — but restoring one from a different
-// graph must be prevented by the caller (the facade keys cache files by
-// graph fingerprint and seed).
-func (c *SessionCache) Restore(snap CacheSnapshot, n int) error {
+// n-node graph, resolving the deduplicated cluster references against the
+// structural cache (which the caller must have restored first). A dangling
+// reference — a session slot whose µ entry, ruler slot, or cluster
+// directory is missing from clusters — is an error, and the caller treats
+// it as a cold start. Restoring a snapshot recorded under a different seed
+// is safe — the collective membership agreement degrades every stale entry
+// to a rebuild — but restoring one from a different graph must be
+// prevented by the caller (the facade keys cache files by graph
+// fingerprint and seed).
+func (c *SessionCache) Restore(snap CacheSnapshot, n int, clusters *helpers.ClusterCache) error {
+	if clusters == nil && len(snap.Entries) > 0 {
+		return fmt.Errorf("routing: cache snapshot needs a structural cluster cache to resolve against")
+	}
 	entries := map[sessionKey]*sessionEntry{}
 	order := make([]sessionKey, 0, len(snap.Entries))
 	for i, es := range snap.Entries {
 		if len(es.Filled) != n || len(es.InS) != n || len(es.InR) != n ||
-			len(es.FamS) != n || len(es.FamR) != n || len(es.HashSeed) != n {
+			len(es.FamS.Helps) != n || len(es.FamR.Helps) != n {
 			return fmt.Errorf("routing: cache snapshot entry %d sized for %d nodes, want %d", i, len(es.Filled), n)
 		}
 		key := sessionKey{
@@ -294,19 +453,38 @@ func (c *SessionCache) Restore(snap CacheSnapshot, n int) error {
 		if _, dup := entries[key]; dup {
 			return fmt.Errorf("routing: cache snapshot has duplicate entry for kS=%d kR=%d", es.Key.KS, es.Key.KR)
 		}
+		dirsS, err := decodeFamily(es.FamS, n)
+		if err != nil {
+			return fmt.Errorf("routing: cache snapshot entry %d: %w", i, err)
+		}
+		dirsR, err := decodeFamily(es.FamR, n)
+		if err != nil {
+			return fmt.Errorf("routing: cache snapshot entry %d: %w", i, err)
+		}
 		e := newSessionEntry(n)
+		var hash *bitrand.KWiseHash
 		for id := 0; id < n; id++ {
 			if !es.Filled[id] {
 				continue
 			}
-			if es.HashSeed[id] == nil {
-				return fmt.Errorf("routing: cache snapshot entry %d node %d filled but has no hash seed", i, id)
+			if hash == nil {
+				if len(es.HashSeed) == 0 {
+					return fmt.Errorf("routing: cache snapshot entry %d has filled slots but no hash seed", i)
+				}
+				hash = bitrand.FromSeed(es.HashSeed, n)
 			}
-			e.filled[id] = true
+			famS, err := restoreFamily(clusters, es.Key.MuS, id, dirsS, es.FamS.Helps[id], es.InS[id], n)
+			if err != nil {
+				return fmt.Errorf("routing: cache snapshot entry %d node %d (S family): %w", i, id, err)
+			}
+			famR, err := restoreFamily(clusters, es.Key.MuR, id, dirsR, es.FamR.Helps[id], es.InR[id], n)
+			if err != nil {
+				return fmt.Errorf("routing: cache snapshot entry %d node %d (R family): %w", i, id, err)
+			}
+			e.famS[id], e.famR[id] = famS, famR
+			e.hash[id] = hash
 			e.inS[id], e.inR[id] = es.InS[id], es.InR[id]
-			e.famS[id] = familySnap{res: es.FamS[id].Res, helperSets: es.FamS[id].HelperSets, myOwners: es.FamS[id].MyOwners}
-			e.famR[id] = familySnap{res: es.FamR[id].Res, helperSets: es.FamR[id].HelperSets, myOwners: es.FamR[id].MyOwners}
-			e.hash[id] = bitrand.FromSeed(es.HashSeed[id], n)
+			e.filled[id] = true
 		}
 		entries[key] = e
 		order = append(order, key)
@@ -316,6 +494,37 @@ func (c *SessionCache) Restore(snap CacheSnapshot, n int) error {
 	c.order = order
 	c.mu.Unlock()
 	return nil
+}
+
+// restoreFamily reassembles one node's familySnap from the structural
+// cluster cache (ruler assignment, distance, shared member directory) and
+// the session snapshot's per-cluster tables. The shared slices and the
+// helper-set map are attached by reference — every member of a cluster
+// binds the same objects, which is also what keeps the restored cache's
+// memory footprint at one copy per cluster.
+func restoreFamily(clusters *helpers.ClusterCache, mu, id int, dirs map[int]*familyDir, packedHelps []byte, inW bool, n int) (familySnap, error) {
+	ruler, dist, members, ok := clusters.Structure(mu, id)
+	if !ok {
+		return familySnap{}, fmt.Errorf("dangling reference: no structural entry for µ=%d", mu)
+	}
+	dir, ok := dirs[ruler]
+	if !ok {
+		return familySnap{}, fmt.Errorf("dangling reference: no per-cluster data for ruler %d", ruler)
+	}
+	helps, err := unpackIDs(packedHelps, n)
+	if err != nil {
+		return familySnap{}, err
+	}
+	res := helpers.Result{
+		Ruler:     ruler,
+		RulerDist: dist,
+		Members:   members,
+		WMembers:  dir.wMembers,
+		Helps:     helps,
+		InW:       inW,
+		Mu:        mu,
+	}
+	return familySnap{res: res, helperSets: dir.helperSets, myOwners: helpersOf(id, dir.helperSets)}, nil
 }
 
 // Len reports the number of cached entries (for tests and diagnostics).

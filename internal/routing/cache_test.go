@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/helpers"
 	"repro/internal/sim"
 )
 
@@ -145,32 +146,54 @@ func TestSessionCacheEviction(t *testing.T) {
 // TestSessionCacheSnapshotRestore pins the persistence contract at package
 // level: a restored snapshot serves a warm run with exactly the same round
 // count as an in-memory hit and byte-identical tokens, on every engine —
-// and the snapshot survives the gob codec the persist package uses.
+// and the snapshot survives the gob codec the persist package uses. The
+// v2 snapshot is deduplicated against the cluster cache, so the test
+// threads a helpers.ClusterCache through the runs and round-trips its
+// snapshot alongside.
 func TestSessionCacheSnapshotRestore(t *testing.T) {
 	g := graph.Grid(7, 7)
 	n := g.N()
 	specs := buildInstance(n, 0.4, 0.4, 2, 5)
 
 	cache := NewSessionCache()
-	routePipeline(t, g, specs, sim.EngineLegacy, Params{Cache: cache}) // populate
-	memOut, memM := routePipeline(t, g, specs, sim.EngineLegacy, Params{Cache: cache})
+	clusters := helpers.NewClusterCache()
+	params := Params{Cache: cache, Helpers: helpers.Params{Clusters: clusters}}
+	routePipeline(t, g, specs, sim.EngineLegacy, params) // populate
+	memOut, memM := routePipeline(t, g, specs, sim.EngineLegacy, params)
 
-	// Round-trip the snapshot through gob, as the on-disk codec does.
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cache.Snapshot()); err != nil {
+	// Round-trip both snapshots through gob, as the on-disk codec does.
+	sessSnap, err := cache.Snapshot(clusters)
+	if err != nil {
 		t.Fatal(err)
 	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(sessSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(clusters.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(buf.Bytes()))
 	var snap CacheSnapshot
-	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&snap); err != nil {
+	var clusterSnap helpers.ClusterSnapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&clusterSnap); err != nil {
 		t.Fatal(err)
 	}
 
 	for _, eng := range stepEngines {
-		restored := NewSessionCache()
-		if err := restored.Restore(snap, n); err != nil {
+		restoredClusters := helpers.NewClusterCache()
+		if err := restoredClusters.Restore(clusterSnap, n); err != nil {
 			t.Fatal(err)
 		}
-		out, m := routePipeline(t, g, specs, eng, Params{Cache: restored})
+		restored := NewSessionCache()
+		if err := restored.Restore(snap, n, restoredClusters); err != nil {
+			t.Fatal(err)
+		}
+		out, m := routePipeline(t, g, specs, eng, Params{Cache: restored, Helpers: helpers.Params{Clusters: restoredClusters}})
 		if !reflect.DeepEqual(out, memOut) {
 			t.Errorf("%s: warm-disk run delivers different tokens than warm-memory", eng)
 		}
@@ -180,7 +203,53 @@ func TestSessionCacheSnapshotRestore(t *testing.T) {
 	}
 
 	// Shape validation: a snapshot for the wrong n is rejected.
-	if err := NewSessionCache().Restore(snap, n+1); err == nil {
+	if err := NewSessionCache().Restore(snap, n+1, clusters); err == nil {
 		t.Error("restoring a snapshot recorded for a different node count succeeded")
+	}
+
+	// Dangling dedup references are rejected: a session snapshot resolved
+	// against an empty cluster cache has nothing to attach its members to.
+	if err := NewSessionCache().Restore(snap, n, helpers.NewClusterCache()); err == nil {
+		t.Error("restoring against an empty cluster cache succeeded")
+	}
+}
+
+// TestSnapshotOmitsDanglingSessions pins the eviction-skew guard: the
+// session and cluster caches evict independently, so a live session whose
+// µ entries are gone from the cluster cache must be omitted from the
+// snapshot — writing it would produce a file set every later load rejects
+// wholesale.
+func TestSnapshotOmitsDanglingSessions(t *testing.T) {
+	g := graph.Grid(7, 7)
+	n := g.N()
+	specs := buildInstance(n, 0.4, 0.4, 2, 5)
+
+	cache := NewSessionCache()
+	clusters := helpers.NewClusterCache()
+	routePipeline(t, g, specs, sim.EngineLegacy, Params{Cache: cache, Helpers: helpers.Params{Clusters: clusters}})
+
+	full, err := cache.Snapshot(clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Entries) == 0 {
+		t.Fatal("populated cache snapshotted empty")
+	}
+
+	// Against an empty cluster cache every session dangles: all entries
+	// must be dropped, and the result must still restore cleanly.
+	empty := helpers.NewClusterCache()
+	filtered, err := cache.Snapshot(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Entries) != 0 {
+		t.Errorf("snapshot kept %d entries with no structural cache to resolve them", len(filtered.Entries))
+	}
+	if err := NewSessionCache().Restore(filtered, n, empty); err != nil {
+		t.Errorf("filtered snapshot does not restore: %v", err)
+	}
+	if _, err := cache.Snapshot(nil); err != nil {
+		t.Errorf("nil cluster cache: %v", err)
 	}
 }

@@ -21,6 +21,36 @@ func hashU64(k uint64) uint64 {
 	return k
 }
 
+// Shrink-on-reset policy, shared by u64set and u64map. The tables are
+// reused across Route calls, so one giant instance would otherwise pin its
+// peak capacity for the session's whole lifetime. A table is reallocated
+// smaller at reset when it is at least shrinkMinCap words AND its last
+// fill used less than 1/shrinkDivisor of the capacity — both conditions
+// are pure functions of (used, len), so shrinking is deterministic and
+// identical across engines and runs. Tables below shrinkMinCap (32 KiB of
+// keys) never shrink: reallocating them saves nothing measurable, and the
+// no-shrink floor keeps steady-state workloads allocation-free.
+const (
+	shrinkMinCap  = 4096
+	shrinkDivisor = 8
+	minTableSize  = 64
+)
+
+// shrunkSize returns the new capacity for a table of size cap whose last
+// fill had `used` live entries, or 0 to keep the current table. The chosen
+// power of two keeps a refill of the same size below 1/4 load, well under
+// the 3/4 grow trigger, so alternating loads don't thrash.
+func shrunkSize(used, cap int) int {
+	if cap < shrinkMinCap || used*shrinkDivisor >= cap {
+		return 0
+	}
+	size := minTableSize
+	for size < used*4 {
+		size <<= 1
+	}
+	return size
+}
+
 // u64set is a linear-probe set of uint64 keys. Keys are stored offset by
 // one so the zero word means "empty"; pack() values stay below 2^58, so
 // the offset cannot wrap.
@@ -29,8 +59,13 @@ type u64set struct {
 	used int
 }
 
-// reset empties the set, keeping capacity.
+// reset empties the set, keeping capacity unless the shrink policy fires.
 func (s *u64set) reset() {
+	if size := shrunkSize(s.used, len(s.tab)); size > 0 {
+		s.tab = make([]uint64, size)
+		s.used = 0
+		return
+	}
 	if s.used > 0 {
 		clear(s.tab)
 		s.used = 0
@@ -91,8 +126,14 @@ type u64map struct {
 	used int
 }
 
-// reset empties the map, keeping capacity.
+// reset empties the map, keeping capacity unless the shrink policy fires.
 func (m *u64map) reset() {
+	if size := shrunkSize(m.used, len(m.keys)); size > 0 {
+		m.keys = make([]uint64, size)
+		m.vals = make([]int64, size)
+		m.used = 0
+		return
+	}
 	if m.used > 0 {
 		clear(m.keys)
 		m.used = 0

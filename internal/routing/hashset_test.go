@@ -1,0 +1,92 @@
+package routing
+
+import "testing"
+
+// TestHashTableShrinkOnReset pins the shrink policy: a table blown up by
+// one giant fill returns to a small capacity on the next reset, small
+// tables never shrink, and steady-state loads near the table's capacity
+// don't thrash between shrink and grow.
+func TestHashTableShrinkOnReset(t *testing.T) {
+	var s u64set
+	const big = 1 << 16
+	for i := uint64(0); i < big; i++ {
+		s.add(i * 3)
+	}
+	peak := len(s.tab)
+	if peak < big {
+		t.Fatalf("peak capacity %d below fill %d", peak, big)
+	}
+	// The reset right after the giant fill keeps capacity (the table was
+	// genuinely full); the reset after the next small fill is what detects
+	// the overprovisioning and shrinks.
+	s.reset()
+	if len(s.tab) != peak {
+		t.Errorf("reset after a full table resized it: %d -> %d", peak, len(s.tab))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !s.add(i) {
+			t.Fatalf("key %d reported present in an empty table", i)
+		}
+	}
+	s.reset()
+	if len(s.tab) >= peak {
+		t.Errorf("reset after a small fill kept capacity %d (peak %d)", len(s.tab), peak)
+	}
+	if len(s.tab) < minTableSize {
+		t.Errorf("shrunk below the minimum table size: %d", len(s.tab))
+	}
+	// The shrunk table still works and grows back on demand.
+	for i := uint64(0); i < 1000; i++ {
+		if !s.add(i) {
+			t.Fatalf("key %d reported present in the shrunk table", i)
+		}
+	}
+	if s.used != 1000 {
+		t.Fatalf("used = %d after 1000 inserts", s.used)
+	}
+
+	// Deterministic policy: shrunkSize depends only on (used, cap).
+	if got := shrunkSize(0, shrinkMinCap/2); got != 0 {
+		t.Errorf("small table shrank: %d", got)
+	}
+	if got := shrunkSize(shrinkMinCap/shrinkDivisor, shrinkMinCap); got != 0 {
+		t.Errorf("table at the occupancy threshold shrank: %d", got)
+	}
+	if got := shrunkSize(10, 1<<20); got == 0 || got > 1<<20/shrinkDivisor {
+		t.Errorf("huge sparse table kept too much: %d", got)
+	}
+
+	// Steady state: a load that refills to the same size must not shrink
+	// on every reset (the shrunk size admits the refill below the grow
+	// trigger).
+	var m u64map
+	for i := uint64(0); i < big; i++ {
+		m.put(i, int64(i))
+	}
+	peakM := len(m.keys)
+	m.reset() // full: keeps capacity
+	m.put(7, 7)
+	m.reset() // sparse: shrinks both arrays
+	if len(m.keys) >= peakM {
+		t.Errorf("map reset after a small fill kept capacity %d (peak %d)", len(m.keys), peakM)
+	}
+	shrunk := len(m.keys)
+	fill := shrunk / shrinkDivisor // just at the keep threshold
+	for round := 0; round < 3; round++ {
+		for i := 0; i < fill; i++ {
+			m.put(uint64(i), 1)
+		}
+		if len(m.keys) != shrunk {
+			t.Fatalf("round %d: steady-state load resized the table: %d -> %d", round, shrunk, len(m.keys))
+		}
+		m.reset()
+		if len(m.keys) != shrunk {
+			t.Fatalf("round %d: steady-state reset resized the table: %d -> %d", round, shrunk, len(m.keys))
+		}
+	}
+
+	// u64map shrinks both arrays together.
+	if len(m.keys) != len(m.vals) {
+		t.Errorf("keys and vals diverged: %d vs %d", len(m.keys), len(m.vals))
+	}
+}

@@ -2,9 +2,11 @@ package skeleton
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/ncc"
+	"repro/internal/persist"
 	"repro/internal/sim"
 )
 
@@ -175,62 +177,137 @@ func (c *ResultCache) compute(env *sim.Env, key cacheKey, force, inSkel bool, h 
 }
 
 // CacheSnapshot is the serializable image of a ResultCache, produced by
-// Snapshot and consumed by Restore. Entries preserve insertion order so a
+// Snapshot and consumed by Restore — part of the seed-dependent section of
+// the v2 on-disk warm-start cache. Entries preserve insertion order so a
 // restored cache keeps the same deterministic FIFO eviction sequence.
+// Per-node Near/NearHops maps are stored as packed vectors (sorted
+// delta-varint IDs plus varint distance and hop streams) instead of gob's
+// reflected maps — the skeleton results are the largest genuinely per-node
+// payload of the cache, and the packed form is both several times smaller
+// and far cheaper to encode.
 type CacheSnapshot struct {
 	Entries []CacheEntrySnapshot
 }
 
 // CacheEntrySnapshot is one cached skeleton construction: its resolved key
-// and every node's slot.
+// and every node's packed slot. NearIDs[id] packs the sorted keys of the
+// node's Near map (persist.PackSorted); NearDists[id] and NearHops[id]
+// pack the aligned distance and hop values (persist.PackInt64s).
 type CacheEntrySnapshot struct {
-	Prob   float64
-	H      int
-	Filled []bool
-	Force  []bool
-	InSkel []bool
-	Res    []Result
+	Prob      float64
+	H         int
+	Filled    []bool
+	Force     []bool
+	InSkel    []bool
+	NearIDs   [][]byte
+	NearDists [][]byte
+	NearHops  [][]byte
 }
 
 // Snapshot captures the cache's current contents for persistence. The
-// returned snapshot shares the per-node maps with the cache; callers must
-// serialize (or deep-copy) it before the cache is used again.
-func (c *ResultCache) Snapshot() CacheSnapshot {
+// packed vectors are fresh copies, but bool slices are shared with the
+// cache; callers must serialize the snapshot before the cache is used
+// again.
+func (c *ResultCache) Snapshot() (CacheSnapshot, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	snap := CacheSnapshot{Entries: make([]CacheEntrySnapshot, 0, len(c.order))}
 	for _, key := range c.order {
 		e := c.entries[key]
-		snap.Entries = append(snap.Entries, CacheEntrySnapshot{
-			Prob:   key.prob,
-			H:      key.h,
-			Filled: e.filled,
-			Force:  e.force,
-			InSkel: e.inSkel,
-			Res:    e.res,
-		})
+		n := len(e.filled)
+		es := CacheEntrySnapshot{
+			Prob:      key.prob,
+			H:         key.h,
+			Filled:    e.filled,
+			Force:     e.force,
+			InSkel:    e.inSkel,
+			NearIDs:   make([][]byte, n),
+			NearDists: make([][]byte, n),
+			NearHops:  make([][]byte, n),
+		}
+		for id := 0; id < n; id++ {
+			if !e.filled[id] {
+				continue
+			}
+			res := e.res[id]
+			ids := make([]int, 0, len(res.Near))
+			for u := range res.Near {
+				ids = append(ids, u)
+			}
+			sort.Ints(ids)
+			dists := make([]int64, len(ids))
+			hops := make([]int64, len(ids))
+			for j, u := range ids {
+				dists[j] = res.Near[u]
+				hop, ok := res.NearHops[u]
+				if !ok {
+					return CacheSnapshot{}, fmt.Errorf("skeleton: snapshot: node %d has %d in Near but not NearHops", id, u)
+				}
+				hops[j] = int64(hop)
+			}
+			es.NearIDs[id] = persist.PackSorted(ids)
+			es.NearDists[id] = persist.PackInt64s(dists)
+			es.NearHops[id] = persist.PackInt64s(hops)
+		}
+		snap.Entries = append(snap.Entries, es)
 	}
-	return snap
+	return snap, nil
 }
 
 // Restore replaces the cache's contents with a snapshot recorded for an
-// n-node graph, validating shape. Restoring a snapshot recorded under a
-// different seed is safe — the collective membership agreement degrades
-// every stale entry to a rebuild — but restoring one from a different graph
-// must be prevented by the caller (the facade keys cache files by graph
-// fingerprint and seed).
+// n-node graph, validating shape and decoding the packed vectors.
+// Restoring a snapshot recorded under a different seed is safe — the
+// collective membership agreement degrades every stale entry to a rebuild
+// — but restoring one from a different graph must be prevented by the
+// caller (the facade keys cache files by graph fingerprint and seed).
 func (c *ResultCache) Restore(snap CacheSnapshot, n int) error {
 	entries := map[cacheKey]*cacheEntry{}
 	order := make([]cacheKey, 0, len(snap.Entries))
 	for i, es := range snap.Entries {
-		if len(es.Filled) != n || len(es.Force) != n || len(es.InSkel) != n || len(es.Res) != n {
+		if len(es.Filled) != n || len(es.Force) != n || len(es.InSkel) != n ||
+			len(es.NearIDs) != n || len(es.NearDists) != n || len(es.NearHops) != n {
 			return fmt.Errorf("skeleton: cache snapshot entry %d sized for %d nodes, want %d", i, len(es.Filled), n)
 		}
 		key := cacheKey{prob: es.Prob, h: es.H}
 		if _, dup := entries[key]; dup {
 			return fmt.Errorf("skeleton: cache snapshot has duplicate entry for h=%d p=%g", es.H, es.Prob)
 		}
-		entries[key] = &cacheEntry{filled: es.Filled, force: es.Force, inSkel: es.InSkel, res: es.Res}
+		e := newCacheEntry(n)
+		copy(e.filled, es.Filled)
+		copy(e.force, es.Force)
+		copy(e.inSkel, es.InSkel)
+		for id := 0; id < n; id++ {
+			if !es.Filled[id] {
+				continue
+			}
+			ids, err := persist.UnpackSorted(es.NearIDs[id])
+			if err != nil {
+				return fmt.Errorf("skeleton: cache snapshot entry %d node %d IDs: %w", i, id, err)
+			}
+			if len(ids) > 0 && ids[len(ids)-1] >= n {
+				return fmt.Errorf("skeleton: cache snapshot entry %d node %d: ID %d out of range", i, id, ids[len(ids)-1])
+			}
+			dists, err := persist.UnpackInt64s(es.NearDists[id])
+			if err != nil {
+				return fmt.Errorf("skeleton: cache snapshot entry %d node %d dists: %w", i, id, err)
+			}
+			hops, err := persist.UnpackInt64s(es.NearHops[id])
+			if err != nil {
+				return fmt.Errorf("skeleton: cache snapshot entry %d node %d hops: %w", i, id, err)
+			}
+			if len(dists) != len(ids) || len(hops) != len(ids) {
+				return fmt.Errorf("skeleton: cache snapshot entry %d node %d: %d IDs but %d/%d values",
+					i, id, len(ids), len(dists), len(hops))
+			}
+			near := make(map[int]int64, len(ids))
+			nearHops := make(map[int]int, len(ids))
+			for j, u := range ids {
+				near[u] = dists[j]
+				nearHops[u] = int(hops[j])
+			}
+			e.res[id] = Result{InSkeleton: es.InSkel[id], H: es.H, Near: near, NearHops: nearHops}
+		}
+		entries[key] = e
 		order = append(order, key)
 	}
 	c.mu.Lock()

@@ -122,8 +122,12 @@ func TestResultCacheSnapshotRestore(t *testing.T) {
 	computePipeline(t, g, cached, nil, sim.EngineLegacy, 11) // populate
 	memOut, memM := computePipeline(t, g, cached, nil, sim.EngineLegacy, 11)
 
+	orig, err := cache.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cache.Snapshot()); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
 		t.Fatal(err)
 	}
 	var snap CacheSnapshot

@@ -7,8 +7,10 @@
 package hybrid_test
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -16,15 +18,18 @@ import (
 	"testing"
 
 	hybrid "repro"
+	"repro/internal/persist"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files with the observed values")
 
-// warmStartModes runs APSP on a 7x7 grid in the three cache modes — cold,
+// warmStartModes runs APSP on a 7x7 grid in the four cache modes — cold,
 // warm-memory (second call on one Network), warm-disk (fresh Network
-// restored from a saved cache file) — on the given engine, returning the
-// per-mode results and the cache-agreement trace of each mode's final run.
-func warmStartModes(t *testing.T, eng hybrid.Engine, dir string) (cold, warmMem, warmDisk *hybrid.APSPResult, traces map[string][]string) {
+// restored from the saved cache files), cross-seed (fresh Network under a
+// NEW seed that finds only the seed-independent structural section) — on
+// the given engine, returning the per-mode results and the cache-agreement
+// trace of each mode's final run.
+func warmStartModes(t *testing.T, eng hybrid.Engine, dir string) (cold, warmMem, warmDisk, crossSeed *hybrid.APSPResult, traces map[string][]string) {
 	t.Helper()
 	g := hybrid.GridGraph(7, 7)
 	const seed = 42
@@ -60,33 +65,55 @@ func warmStartModes(t *testing.T, eng hybrid.Engine, dir string) (cold, warmMem,
 	// Warm-disk: a fresh Network restored from the cold run's cache file.
 	diskNet := hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(eng),
 		hybrid.WithCacheDir(dir), record("warm-disk"))
-	loaded, err := diskNet.LoadCache()
+	status, err := diskNet.LoadCache()
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if !loaded {
-		t.Fatal("LoadCache found no file after SaveCache")
+	if !status.Structural || !status.Seed {
+		t.Fatalf("LoadCache after SaveCache restored %+v, want both sections", status)
 	}
 	warmDisk, err = diskNet.APSP()
 	if err != nil {
 		t.Fatalf("warm-disk: %v", err)
 	}
-	return cold, warmMem, warmDisk, traces
+
+	// Cross-seed: a fresh Network under a different seed. Its own seed file
+	// does not exist, but the structural section (keyed by graph only)
+	// does: the run reuses the cluster structures and rebuilds the
+	// seed-dependent state.
+	crossNet := hybrid.New(g, hybrid.WithSeed(seed+1), hybrid.WithEngine(eng),
+		hybrid.WithCacheDir(dir), record("cross-seed"))
+	status, err = crossNet.LoadCache()
+	if err != nil {
+		t.Fatalf("cross-seed load: %v", err)
+	}
+	if !status.Structural || status.Seed {
+		t.Fatalf("cross-seed LoadCache restored %+v, want structural only", status)
+	}
+	crossSeed, err = crossNet.APSP()
+	if err != nil {
+		t.Fatalf("cross-seed: %v", err)
+	}
+	return cold, warmMem, warmDisk, crossSeed, traces
 }
 
 // TestWarmStartByteIdentical is the warm-start analogue of the engine
-// matrix: for every engine, all three modes agree byte-for-byte on Dist;
-// within each mode all engines agree on the full Metrics; and the warm
-// modes take strictly fewer rounds than cold while warm-disk reproduces
-// warm-memory's Metrics exactly (the restored cache is
-// indistinguishable from the in-memory one).
+// matrix: for every engine, all modes sharing a seed agree byte-for-byte
+// on Dist; within each mode all engines agree on the full Metrics; the
+// warm modes take strictly fewer rounds than cold while warm-disk
+// reproduces warm-memory's Metrics exactly (the restored cache is
+// indistinguishable from the in-memory one); and the cross-seed mode —
+// same graph, new seed, structural section only — reproduces that seed's
+// cold results byte-for-byte while landing strictly between its cold and
+// full-warm round counts.
 func TestWarmStartByteIdentical(t *testing.T) {
-	type modes struct{ cold, warmMem, warmDisk *hybrid.APSPResult }
+	type modes struct{ cold, warmMem, warmDisk, crossSeed *hybrid.APSPResult }
+	g := hybrid.GridGraph(7, 7)
 	perEngine := map[hybrid.Engine]modes{}
 	for _, eng := range allEngines {
 		dir := t.TempDir()
-		cold, warmMem, warmDisk, _ := warmStartModes(t, eng, dir)
-		perEngine[eng] = modes{cold, warmMem, warmDisk}
+		cold, warmMem, warmDisk, crossSeed, _ := warmStartModes(t, eng, dir)
+		perEngine[eng] = modes{cold, warmMem, warmDisk, crossSeed}
 
 		if !reflect.DeepEqual(cold.Dist, warmMem.Dist) {
 			t.Errorf("%s: warm-memory Dist differs from cold", eng)
@@ -101,6 +128,26 @@ func TestWarmStartByteIdentical(t *testing.T) {
 			t.Errorf("%s: warm run saved nothing: %d rounds vs cold %d",
 				eng, warmMem.Metrics.Rounds, cold.Metrics.Rounds)
 		}
+
+		// Cross-seed: byte-identical to that seed's own cold run, strictly
+		// between cold and full warm on rounds. (The full-warm bound uses
+		// the seed-42 warm run — the protocol's warm round count is
+		// seed-independent here, and the golden trace pins both numbers.)
+		coldB, err := hybrid.New(g, hybrid.WithSeed(43), hybrid.WithEngine(eng)).APSP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(coldB.Dist, crossSeed.Dist) {
+			t.Errorf("%s: cross-seed Dist differs from the new seed's cold run", eng)
+		}
+		if !(crossSeed.Metrics.Rounds < coldB.Metrics.Rounds) {
+			t.Errorf("%s: cross-seed warm start saved nothing: %d rounds vs cold %d",
+				eng, crossSeed.Metrics.Rounds, coldB.Metrics.Rounds)
+		}
+		if !(crossSeed.Metrics.Rounds > warmMem.Metrics.Rounds) {
+			t.Errorf("%s: cross-seed run at %d rounds is not above the full-warm %d",
+				eng, crossSeed.Metrics.Rounds, warmMem.Metrics.Rounds)
+		}
 	}
 	oracle := perEngine[hybrid.EngineLegacy]
 	for _, eng := range allEngines[1:] {
@@ -114,6 +161,12 @@ func TestWarmStartByteIdentical(t *testing.T) {
 		if !reflect.DeepEqual(oracle.warmDisk.Dist, got.warmDisk.Dist) {
 			t.Errorf("warm-disk Dist differs between legacy and %s", eng)
 		}
+		if oracle.crossSeed.Metrics != got.crossSeed.Metrics {
+			t.Errorf("cross-seed metrics differ: legacy %+v %s %+v", oracle.crossSeed.Metrics, eng, got.crossSeed.Metrics)
+		}
+		if !reflect.DeepEqual(oracle.crossSeed.Dist, got.crossSeed.Dist) {
+			t.Errorf("cross-seed Dist differs between legacy and %s", eng)
+		}
 	}
 }
 
@@ -125,13 +178,13 @@ func TestWarmStartByteIdentical(t *testing.T) {
 func TestGoldenRoundTrace(t *testing.T) {
 	var goldenBody string
 	for i, eng := range allEngines {
-		cold, warmMem, warmDisk, traces := warmStartModes(t, eng, t.TempDir())
+		cold, warmMem, warmDisk, crossSeed, traces := warmStartModes(t, eng, t.TempDir())
 		var b strings.Builder
-		fmt.Fprintf(&b, "graph=grid7x7 seed=42 algo=apsp\n")
+		fmt.Fprintf(&b, "graph=grid7x7 seed=42 algo=apsp (cross-seed=43)\n")
 		for _, mode := range []struct {
 			name string
 			res  *hybrid.APSPResult
-		}{{"cold", cold}, {"warm-memory", warmMem}, {"warm-disk", warmDisk}} {
+		}{{"cold", cold}, {"warm-memory", warmMem}, {"warm-disk", warmDisk}, {"cross-seed", crossSeed}} {
 			fmt.Fprintf(&b, "%s rounds=%d\n", mode.name, mode.res.Metrics.Rounds)
 			for _, ev := range traces[mode.name] {
 				fmt.Fprintf(&b, "%s agreement: %s\n", mode.name, ev)
@@ -221,15 +274,54 @@ func TestCorruptCacheFallsBackCold(t *testing.T) {
 				t.Fatal(err)
 			}
 		},
+		"v1 format file": func(t *testing.T, dir string) {
+			// The real v1 upgrade shape: the v1 release wrote a SINGLE
+			// file under the same name v2 uses for its seed section, and
+			// no structural file. It must be rejected with a clean version
+			// error (not misread, not misreported as a missing sibling).
+			net := hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithCacheDir(dir))
+			if err := persist.Save(net.CachePath(), 1, struct{ Legacy string }{"v1 payload"}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"truncated compressed payload": func(t *testing.T, dir string) {
+			// A flate stream cut short and re-framed behind a fresh, valid
+			// header: only the decompressor can notice, and it must.
+			path := saveValid(t, dir)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reframed := reframe(data[24:len(data)-20], 2)
+			if err := os.WriteFile(path, reframed, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"dangling structural section": func(t *testing.T, dir string) {
+			// A seed file whose structural counterpart vanished: its dedup
+			// references cannot be resolved, so the set must be rejected
+			// rather than the seed file silently ignored.
+			saveValid(t, dir)
+			structs, err := filepath.Glob(filepath.Join(dir, "*-struct.hybc"))
+			if err != nil || len(structs) != 1 {
+				t.Fatalf("structural files: %v, %v", structs, err)
+			}
+			if err := os.Remove(structs[0]); err != nil {
+				t.Fatal(err)
+			}
+		},
 	}
 	for name, sabotage := range cases {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
 			sabotage(t, dir)
 			net := hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithCacheDir(dir))
-			loaded, err := net.LoadCache()
-			if err == nil || loaded {
-				t.Fatalf("sabotaged cache accepted: loaded=%v err=%v", loaded, err)
+			status, err := net.LoadCache()
+			if err == nil || status.Any() {
+				t.Fatalf("sabotaged cache accepted: status=%+v err=%v", status, err)
+			}
+			if name == "v1 format file" && !strings.Contains(err.Error(), "format v1") {
+				t.Errorf("v1 file not rejected as a version mismatch: %v", err)
 			}
 			res, err := net.APSP()
 			if err != nil {
@@ -242,14 +334,28 @@ func TestCorruptCacheFallsBackCold(t *testing.T) {
 	}
 }
 
+// reframe wraps body in a fresh, internally consistent cache-file header
+// (magic, version, length, FNV-64a checksum) — the shape a deliberately
+// malformed-but-checksummed payload arrives in.
+func reframe(body []byte, version uint32) []byte {
+	h := fnv.New64a()
+	h.Write(body)
+	out := make([]byte, 24, 24+len(body))
+	copy(out[0:4], "HYWC")
+	binary.LittleEndian.PutUint32(out[4:8], version)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(body)))
+	binary.LittleEndian.PutUint64(out[16:24], h.Sum64())
+	return append(out, body...)
+}
+
 // TestLoadCacheNoFileIsCold pins the (false, nil) contract for a missing
 // file and the explicit error when no directory was configured.
 func TestLoadCacheNoFileIsCold(t *testing.T) {
 	g := hybrid.GridGraph(4, 4)
 	net := hybrid.New(g, hybrid.WithSeed(1), hybrid.WithCacheDir(t.TempDir()))
-	loaded, err := net.LoadCache()
-	if loaded || err != nil {
-		t.Errorf("missing file: got loaded=%v err=%v, want false, nil", loaded, err)
+	status, err := net.LoadCache()
+	if status.Any() || err != nil {
+		t.Errorf("missing file: got status=%+v err=%v, want zero, nil", status, err)
 	}
 	bare := hybrid.New(g, hybrid.WithSeed(1))
 	if _, err := bare.LoadCache(); err == nil {
@@ -261,4 +367,44 @@ func TestLoadCacheNoFileIsCold(t *testing.T) {
 	if p := bare.CachePath(); p != "" {
 		t.Errorf("CachePath without WithCacheDir = %q, want empty", p)
 	}
+}
+
+// BenchmarkSnapshotSaveLoad measures the on-disk codec round trip over a
+// populated warm-start cache (10x10 grid APSP), reporting the total cache
+// file size alongside the save and load wall times — the package-level
+// twin of cmd/benchwarm's end-to-end JSON record.
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	g := hybrid.GridGraph(10, 10)
+	dir := b.TempDir()
+	net := hybrid.New(g, hybrid.WithSeed(1), hybrid.WithEngine(hybrid.EngineStep), hybrid.WithCacheDir(dir))
+	if _, err := net.APSP(); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.SaveCache(); err != nil {
+		b.Fatal(err)
+	}
+	structInfo, seedInfo := net.CacheFiles()
+	totalBytes := float64(structInfo.Bytes + seedInfo.Bytes)
+
+	b.Run("save", func(b *testing.B) {
+		b.ReportMetric(totalBytes, "cache-bytes")
+		for i := 0; i < b.N; i++ {
+			if err := net.SaveCache(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		b.ReportMetric(totalBytes, "cache-bytes")
+		for i := 0; i < b.N; i++ {
+			fresh := hybrid.New(g, hybrid.WithSeed(1), hybrid.WithCacheDir(dir))
+			status, err := fresh.LoadCache()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !status.Seed {
+				b.Fatal("load restored nothing")
+			}
+		}
+	})
 }
