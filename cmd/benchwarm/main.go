@@ -5,15 +5,18 @@
 // descriptions.
 //
 //	benchwarm -graph grid -n 1024 -engine step
-//	benchwarm -graph grid -n 4096 -out BENCH_warmstart.json
+//	benchwarm -graph grid,tree,geometric -n 1024 -out BENCH_warmstart.json
 //
-// The program runs APSP four times: cold (populating the cache), warm
-// (same seed, full file set), cross-seed cold (reference, no cache), and
-// cross-seed warm (structural section only). It self-verifies that every
-// mode produces byte-identical distances to its cold reference and that
-// the cross-seed round count lands strictly between cold and full-warm,
-// exiting non-zero otherwise — the JSON is only written for runs whose
-// correctness story holds.
+// -graph takes a comma-separated topology list; the JSON output is an
+// array with one row per topology, so irregular cluster structures
+// (tree, geometric) are tracked alongside the regular ones. For each
+// graph the program runs APSP four times: cold (populating the cache),
+// warm (same seed, full file set), cross-seed cold (reference, no cache),
+// and cross-seed warm (structural section only). It self-verifies that
+// every mode produces byte-identical distances to its cold reference and
+// that the cross-seed round count lands strictly between cold and
+// full-warm, exiting non-zero otherwise — the JSON is only written for
+// runs whose correctness story holds.
 package main
 
 import (
@@ -23,12 +26,13 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"strings"
 	"time"
 
 	hybrid "repro"
 )
 
-// report is the BENCH_warmstart.json schema.
+// report is one row of the BENCH_warmstart.json array.
 type report struct {
 	Graph  string `json:"graph"`
 	N      int    `json:"n"`
@@ -55,7 +59,7 @@ type report struct {
 }
 
 func main() {
-	graphKind := flag.String("graph", "grid", "graph: grid|path|cycle|sparse")
+	graphKinds := flag.String("graph", "grid", "comma-separated graphs: grid|path|cycle|tree|sparse|geometric")
 	n := flag.Int("n", 1024, "number of nodes")
 	engine := flag.String("engine", "step", "round engine: sharded|step|legacy")
 	seed := flag.Int64("seed", 1, "seed of the cold/warm pair")
@@ -64,13 +68,16 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "cache directory (default: a temp dir, removed afterwards)")
 	flag.Parse()
 
-	if err := run(*graphKind, *n, *engine, *seed, *seed2, *out, *cacheDir); err != nil {
+	if err := run(*graphKinds, *n, *engine, *seed, *seed2, *out, *cacheDir); err != nil {
 		fmt.Fprintf(os.Stderr, "benchwarm: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphKind string, n int, engine string, seed, seed2 int64, out, cacheDir string) error {
+// run measures every topology in the comma-separated graphKinds list and
+// writes the row array to out. One shared cache directory serves all
+// rows (files are fingerprint-keyed, so topologies never collide).
+func run(graphKinds string, n int, engine string, seed, seed2 int64, out, cacheDir string) error {
 	var eng hybrid.Engine
 	switch engine {
 	case "sharded":
@@ -82,6 +89,41 @@ func run(graphKind string, n int, engine string, seed, seed2 int64, out, cacheDi
 	default:
 		return fmt.Errorf("unknown engine %q", engine)
 	}
+
+	if cacheDir == "" {
+		dir, err := os.MkdirTemp("", "benchwarm-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cacheDir = dir
+	}
+
+	var rows []report
+	for _, kind := range strings.Split(graphKinds, ",") {
+		kind = strings.TrimSpace(kind)
+		rep, err := runOne(kind, n, engine, eng, seed, seed2, cacheDir)
+		if err != nil {
+			return fmt.Errorf("%s: %w", kind, err)
+		}
+		rows = append(rows, rep)
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s", data)
+	return nil
+}
+
+// runOne is the four-run measurement for a single topology.
+func runOne(graphKind string, n int, engine string, eng hybrid.Engine, seed, seed2 int64, cacheDir string) (report, error) {
+	var rep report
 	var g *hybrid.Graph
 	rng := rand.New(rand.NewSource(seed))
 	switch graphKind {
@@ -95,22 +137,17 @@ func run(graphKind string, n int, engine string, seed, seed2 int64, out, cacheDi
 		g = hybrid.PathGraph(n)
 	case "cycle":
 		g = hybrid.CycleGraph(n)
+	case "tree":
+		g = hybrid.RandomTreeGraph(n, rng)
 	case "sparse":
 		g = hybrid.SparseGraph(n, 1.2, rng)
+	case "geometric":
+		g = hybrid.GeometricGraph(n, 0.15, rng)
 	default:
-		return fmt.Errorf("unknown graph kind %q", graphKind)
+		return rep, fmt.Errorf("unknown graph kind %q", graphKind)
 	}
 
-	if cacheDir == "" {
-		dir, err := os.MkdirTemp("", "benchwarm-")
-		if err != nil {
-			return err
-		}
-		defer os.RemoveAll(dir)
-		cacheDir = dir
-	}
-
-	rep := report{Graph: graphKind, N: g.N(), Engine: engine, Seed: seed, Seed2: seed2}
+	rep = report{Graph: graphKind, N: g.N(), Engine: engine, Seed: seed, Seed2: seed2}
 	newNet := func(s int64) *hybrid.Network {
 		return hybrid.New(g, hybrid.WithSeed(s), hybrid.WithEngine(eng), hybrid.WithCacheDir(cacheDir))
 	}
@@ -121,18 +158,18 @@ func run(graphKind string, n int, engine string, seed, seed2 int64, out, cacheDi
 	start := time.Now()
 	cold, err := coldNet.APSP()
 	if err != nil {
-		return err
+		return rep, err
 	}
 	rep.ColdWallMS = ms(time.Since(start))
 	rep.ColdRounds = cold.Metrics.Rounds
 	start = time.Now()
 	if err := coldNet.SaveCache(); err != nil {
-		return err
+		return rep, err
 	}
 	rep.SaveMS = ms(time.Since(start))
 	structInfo, seedInfo := coldNet.CacheFiles()
 	if !structInfo.Exists || !seedInfo.Exists {
-		return fmt.Errorf("cache files missing after save")
+		return rep, fmt.Errorf("cache files missing after save")
 	}
 	rep.StructBytes, rep.SeedBytes = structInfo.Bytes, seedInfo.Bytes
 	rep.TotalBytes = structInfo.Bytes + seedInfo.Bytes
@@ -142,21 +179,21 @@ func run(graphKind string, n int, engine string, seed, seed2 int64, out, cacheDi
 	start = time.Now()
 	status, err := warmNet.LoadCache()
 	if err != nil {
-		return err
+		return rep, err
 	}
 	rep.LoadMS = ms(time.Since(start))
 	if !status.Seed || !status.Structural {
-		return fmt.Errorf("warm load restored %+v, want both sections", status)
+		return rep, fmt.Errorf("warm load restored %+v, want both sections", status)
 	}
 	start = time.Now()
 	warm, err := warmNet.APSP()
 	if err != nil {
-		return err
+		return rep, err
 	}
 	rep.WarmWallMS = ms(time.Since(start))
 	rep.WarmRounds = warm.Metrics.Rounds
 	if !reflect.DeepEqual(cold.Dist, warm.Dist) {
-		return fmt.Errorf("warm distances diverge from cold")
+		return rep, fmt.Errorf("warm distances diverge from cold")
 	}
 
 	// Cross-seed: cold reference without cache, then the structural-only
@@ -164,7 +201,7 @@ func run(graphKind string, n int, engine string, seed, seed2 int64, out, cacheDi
 	start = time.Now()
 	crossCold, err := hybrid.New(g, hybrid.WithSeed(seed2), hybrid.WithEngine(eng)).APSP()
 	if err != nil {
-		return err
+		return rep, err
 	}
 	rep.CrossColdWallMS = ms(time.Since(start))
 	rep.CrossColdRounds = crossCold.Metrics.Rounds
@@ -172,34 +209,24 @@ func run(graphKind string, n int, engine string, seed, seed2 int64, out, cacheDi
 	crossNet := newNet(seed2)
 	status, err = crossNet.LoadCache()
 	if err != nil {
-		return err
+		return rep, err
 	}
 	if !status.Structural || status.Seed {
-		return fmt.Errorf("cross-seed load restored %+v, want structural only", status)
+		return rep, fmt.Errorf("cross-seed load restored %+v, want structural only", status)
 	}
 	start = time.Now()
 	cross, err := crossNet.APSP()
 	if err != nil {
-		return err
+		return rep, err
 	}
 	rep.CrossSeedWallMS = ms(time.Since(start))
 	rep.CrossSeedRounds = cross.Metrics.Rounds
 	if !reflect.DeepEqual(crossCold.Dist, cross.Dist) {
-		return fmt.Errorf("cross-seed distances diverge from that seed's cold run")
+		return rep, fmt.Errorf("cross-seed distances diverge from that seed's cold run")
 	}
 	if !(rep.WarmRounds < rep.CrossSeedRounds && rep.CrossSeedRounds < rep.CrossColdRounds) {
-		return fmt.Errorf("cross-seed rounds %d not strictly between warm %d and cold %d",
+		return rep, fmt.Errorf("cross-seed rounds %d not strictly between warm %d and cold %d",
 			rep.CrossSeedRounds, rep.WarmRounds, rep.CrossColdRounds)
 	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("%s", data)
-	return nil
+	return rep, nil
 }

@@ -7,6 +7,20 @@ import (
 	"testing"
 )
 
+// readRows parses an emitted BENCH_warmstart.json row array.
+func readRows(t *testing.T, path string) []report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []report
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	return rows
+}
+
 // TestRunEmitsReport drives the whole benchmark in-process on a small grid
 // and checks the emitted JSON: schema fields present, the measured
 // invariants (warm < cross-seed < cold rounds, non-empty cache files)
@@ -17,14 +31,11 @@ func TestRunEmitsReport(t *testing.T) {
 	if err := run("grid", 49, "step", 1, 2, out, filepath.Join(dir, "cache")); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(out)
-	if err != nil {
-		t.Fatal(err)
+	rows := readRows(t, out)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
 	}
-	var rep report
-	if err := json.Unmarshal(data, &rep); err != nil {
-		t.Fatalf("emitted JSON does not parse: %v", err)
-	}
+	rep := rows[0]
 	if rep.N != 49 || rep.Graph != "grid" || rep.Engine != "step" {
 		t.Errorf("report identity %+v", rep)
 	}
@@ -39,12 +50,43 @@ func TestRunEmitsReport(t *testing.T) {
 	}
 }
 
+// TestRunTopologyRows pins the multi-topology sweep: a comma-separated
+// -graph list must produce one row per topology in order, including the
+// irregular-cluster tree and geometric rows the nightly job tracks.
+func TestRunTopologyRows(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_warmstart.json")
+	if err := run("grid,tree,geometric", 49, "step", 1, 2, out, filepath.Join(dir, "cache")); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, out)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for i, want := range []string{"grid", "tree", "geometric"} {
+		rep := rows[i]
+		if rep.Graph != want {
+			t.Errorf("row %d is %q, want %q", i, rep.Graph, want)
+			continue
+		}
+		if !(rep.WarmRounds < rep.CrossSeedRounds && rep.CrossSeedRounds < rep.CrossColdRounds) {
+			t.Errorf("%s round ordering not strictly between: %+v", want, rep)
+		}
+		if rep.StructBytes <= 0 || rep.SeedBytes <= 0 {
+			t.Errorf("%s cache files empty: %+v", want, rep)
+		}
+	}
+}
+
 // TestRunRejectsBadFlags pins the error exits.
 func TestRunRejectsBadFlags(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "out.json")
 	if err := run("torus", 49, "step", 1, 2, out, dir); err == nil {
 		t.Error("unknown graph accepted")
+	}
+	if err := run("grid,torus", 49, "step", 1, 2, out, dir); err == nil {
+		t.Error("unknown graph inside a list accepted")
 	}
 	if err := run("grid", 49, "warp", 1, 2, out, dir); err == nil {
 		t.Error("unknown engine accepted")

@@ -1,0 +1,319 @@
+// CLI-level tests mirroring cmd/hybridsim's testable run() pattern: the
+// server is driven in-process on an ephemeral port — start, poll until
+// healthy, query, assert warm-start engagement via /stats, and shut down
+// cleanly through context cancellation with exit 0.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/replay"
+)
+
+// syncBuffer guards a bytes.Buffer: run writes from its own goroutine
+// while the test may still be polling.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// server is one in-process hybridserve run.
+type server struct {
+	addr           string
+	cancel         context.CancelFunc
+	done           chan int
+	stdout, stderr *syncBuffer
+}
+
+// startServer launches run() with -addr 127.0.0.1:0 appended and waits
+// for the listener address.
+func startServer(t *testing.T, args ...string) *server {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &server{cancel: cancel, done: make(chan int, 1), stdout: &syncBuffer{}, stderr: &syncBuffer{}}
+	ready := make(chan string, 1)
+	go func() {
+		s.done <- run(ctx, append(args, "-addr", "127.0.0.1:0"), s.stdout, s.stderr, ready)
+	}()
+	select {
+	case s.addr = <-ready:
+	case code := <-s.done:
+		t.Fatalf("run exited %d before listening, stderr:\n%s", code, s.stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("listener never came up")
+	}
+	t.Cleanup(cancel)
+	return s
+}
+
+// stop cancels the run context and returns the exit code.
+func (s *server) stop(t *testing.T) int {
+	t.Helper()
+	s.cancel()
+	select {
+	case code := <-s.done:
+		return code
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after cancel")
+		return -1
+	}
+}
+
+// waitHealthy polls /healthz until it answers 200 (the APSP build has
+// published the tables).
+func (s *server) waitHealthy(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + s.addr + "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("server never became healthy, stderr:\n%s", s.stderr.String())
+}
+
+func (s *server) getJSON(t *testing.T, path string, into any) int {
+	t.Helper()
+	resp, err := http.Get("http://" + s.addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: body %q: %v", path, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRunServeE2EWarmStart is the end-to-end story on a seeded 7×7 grid:
+// a cold run serves the known corner-to-corner distance 12, then a second
+// run against the same cache directory warm-starts — /stats shows the
+// warm seed section engaged and an APSP round count strictly below the
+// cold build — and both shut down with exit 0 on context cancel.
+func TestRunServeE2EWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-graph", "grid", "-n", "49", "-seed", "42", "-cache-dir", dir}
+
+	cold := startServer(t, args...)
+	cold.waitHealthy(t)
+
+	var d serve.DistanceResponse
+	if code := cold.getJSON(t, "/distance?s=0&t=48", &d); code != http.StatusOK {
+		t.Fatalf("distance status %d", code)
+	}
+	if d.Unreachable || d.Distance != 12 {
+		t.Errorf("7x7 grid corner distance = %+v, want 12", d)
+	}
+	var r serve.RouteResponse
+	if code := cold.getJSON(t, "/route?s=0&t=48", &r); code != http.StatusOK {
+		t.Fatalf("route status %d", code)
+	}
+	if r.Weight != 12 || r.Hops != 12 || len(r.Path) != 13 || r.Path[0] != 0 || r.Path[12] != 48 {
+		t.Errorf("route 0->48 = %+v, want a 12-hop shortest path", r)
+	}
+
+	var coldStats serve.StatsResponse
+	cold.getJSON(t, "/stats", &coldStats)
+	if coldStats.WarmSeed || coldStats.WarmStructural {
+		t.Errorf("cold run claims a warm start: %+v", coldStats)
+	}
+	if coldStats.Rounds == 0 || coldStats.N != 49 {
+		t.Errorf("cold stats malformed: %+v", coldStats)
+	}
+	if code := cold.stop(t); code != 0 {
+		t.Fatalf("cold run exited %d, stderr:\n%s", code, cold.stderr.String())
+	}
+	if !strings.Contains(cold.stderr.String(), "saved warm-start cache") {
+		t.Errorf("cold run did not save the cache:\n%s", cold.stderr.String())
+	}
+
+	warm := startServer(t, args...)
+	warm.waitHealthy(t)
+	var warmStats serve.StatsResponse
+	warm.getJSON(t, "/stats", &warmStats)
+	if !warmStats.WarmSeed || !warmStats.WarmStructural {
+		t.Errorf("second run did not warm-start: %+v, stderr:\n%s", warmStats, warm.stderr.String())
+	}
+	if warmStats.Rounds >= coldStats.Rounds {
+		t.Errorf("warm start did not engage: warm %d rounds, cold %d", warmStats.Rounds, coldStats.Rounds)
+	}
+	var wd serve.DistanceResponse
+	warm.getJSON(t, "/distance?s=0&t=48", &wd)
+	if wd.Distance != 12 {
+		t.Errorf("warm distance %+v", wd)
+	}
+	if code := warm.stop(t); code != 0 {
+		t.Fatalf("warm run exited %d", code)
+	}
+}
+
+// TestRunServeNotReadyBefore503 pins the starting window: the listener
+// answers 503 on /healthz until the build publishes (observable because
+// the listener comes up before the APSP rounds run).
+func TestRunServeNotReadyBefore503(t *testing.T) {
+	s := startServer(t, "-graph", "grid", "-n", "256", "-seed", "1")
+	// Immediately after the listener is up the build is still running on
+	// a 256-node grid; tolerate the race where it finishes first.
+	code := s.getJSON(t, "/healthz", nil)
+	if code != http.StatusServiceUnavailable && code != http.StatusOK {
+		t.Errorf("/healthz during build: status %d", code)
+	}
+	s.waitHealthy(t)
+	if code := s.stop(t); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+// TestRunServeCancelDuringBuild cancels mid-APSP: the run must abort
+// promptly and exit non-zero with a cancellation message, mirroring
+// hybridsim's -timeout contract.
+func TestRunServeCancelDuringBuild(t *testing.T) {
+	s := startServer(t, "-graph", "grid", "-n", "1024", "-seed", "1")
+	time.Sleep(50 * time.Millisecond)
+	if code := s.stop(t); code == 0 {
+		t.Fatal("cancelled build exited 0")
+	}
+	if !strings.Contains(s.stderr.String(), "build cancelled") {
+		t.Errorf("stderr does not report the cancellation:\n%s", s.stderr.String())
+	}
+}
+
+// TestRunServeBenchMode drives -bench end to end: the run replays the
+// load against itself, writes a parseable report with every configured
+// level, and exits 0 without needing a cancel.
+func TestRunServeBenchMode(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_serve.json")
+	var stdout, stderr syncBuffer
+	code := run(context.Background(), []string{
+		"-graph", "grid", "-n", "49", "-seed", "42", "-addr", "127.0.0.1:0",
+		"-bench", "-bench-queries", "600", "-bench-levels", "1,2,4", "-bench-out", out,
+	}, &stdout, &stderr, nil)
+	if code != 0 {
+		t.Fatalf("bench run exited %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep replay.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Graph != "grid" || rep.N != 49 || rep.TotalQueries != 1800 || len(rep.Levels) != 3 {
+		t.Errorf("report identity %+v", rep)
+	}
+	for i, want := range []int{1, 2, 4} {
+		lr := rep.Levels[i]
+		if lr.Concurrency != want || lr.Queries != 600 || lr.Errors != 0 || lr.QPS <= 0 {
+			t.Errorf("level %d malformed: %+v", i, lr)
+		}
+	}
+	if !strings.Contains(stderr.String(), "bench c=4:") {
+		t.Errorf("no bench summary on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestRunServeBenchDeterministicCounts replays the same bench twice: all
+// aggregate counts in the emitted reports must match exactly.
+func TestRunServeBenchDeterministicCounts(t *testing.T) {
+	runOnce := func(out string) replay.Report {
+		var stdout, stderr syncBuffer
+		code := run(context.Background(), []string{
+			"-graph", "grid", "-n", "49", "-seed", "42", "-addr", "127.0.0.1:0",
+			"-bench", "-bench-queries", "500", "-bench-levels", "1,2", "-bench-out", out,
+		}, &stdout, &stderr, nil)
+		if code != 0 {
+			t.Fatalf("bench run exited %d, stderr:\n%s", code, stderr.String())
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep replay.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	dir := t.TempDir()
+	a := runOnce(filepath.Join(dir, "a.json"))
+	b := runOnce(filepath.Join(dir, "b.json"))
+	if a.APSPRounds != b.APSPRounds || a.TotalQueries != b.TotalQueries {
+		t.Errorf("build/total counts differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Levels {
+		la, lb := a.Levels[i], b.Levels[i]
+		if la.DistanceQueries != lb.DistanceQueries || la.RouteQueries != lb.RouteQueries ||
+			la.Unreachable != lb.Unreachable || la.Queries != lb.Queries {
+			t.Errorf("level %d aggregate counts differ: %+v vs %+v", i, la, lb)
+		}
+	}
+}
+
+// TestRunServeBadFlags pins the error exits.
+func TestRunServeBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "torus"},
+		{"-engine", "warp"},
+		{"-bench-levels", "1,zero"},
+		{"-bench-levels", "0"},
+		{"-not-a-flag"},
+	} {
+		var stdout, stderr syncBuffer
+		if code := run(context.Background(), args, &stdout, &stderr, nil); code == 0 {
+			t.Errorf("args %v exited 0", args)
+		}
+	}
+}
+
+// TestRunServeListenFailure pins the bind-error exit.
+func TestRunServeListenFailure(t *testing.T) {
+	blocker := startServer(t, "-graph", "path", "-n", "8")
+	defer blocker.stop(t)
+	var stdout, stderr syncBuffer
+	code := run(context.Background(), []string{
+		"-graph", "path", "-n", "8", "-addr", blocker.addr,
+	}, &stdout, &stderr, nil)
+	if code == 0 {
+		t.Fatal("double bind exited 0")
+	}
+	if !strings.Contains(stderr.String(), "listen") {
+		t.Errorf("stderr does not report the bind failure:\n%s", stderr.String())
+	}
+}

@@ -45,6 +45,11 @@
 // parameters, so repeated runs on one Network — sweeps, re-queries,
 // multi-phase workloads — skip most of the routing setup rounds. Runs on
 // one Network must be sequential (they share the cache).
+//
+// For the serving side of the paper's IP-routing application — a
+// long-lived process answering distance/route queries from resident APSP
+// and next-hop tables over HTTP — see cmd/hybridserve and ARCHITECTURE.md's
+// "Compute vs serve" section.
 package hybrid
 
 import (

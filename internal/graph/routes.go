@@ -1,0 +1,73 @@
+package graph
+
+// Route reconstruction from APSP distances: per-destination forwarding
+// tables and the walks that realize them. This is the compute-side half of
+// the paper's IP-routing application (§1); the serve layer
+// (internal/serve) keeps these tables resident and answers point-to-point
+// queries from them, so the functions here are shared between the facade
+// (hybrid.NextHops / hybrid.FollowRoute) and the server's request path.
+
+// NextHops derives per-destination forwarding tables from an exact
+// distance matrix. Entry [v][t] is the neighbor v forwards to on a
+// shortest path toward t (-1 for t == v or unreachable). Ties break toward
+// the smallest neighbor ID, so tables are deterministic and loop-free.
+func NextHops(g *Graph, dist [][]int64) [][]int {
+	n := g.N()
+	out := make([][]int, n)
+	for v := 0; v < n; v++ {
+		row := make([]int, n)
+		for t := 0; t < n; t++ {
+			row[t] = -1
+			if t == v || dist[v][t] >= Inf {
+				continue
+			}
+			for _, nb := range g.Neighbors(v) {
+				if dist[nb.To][t] < Inf && nb.W+dist[nb.To][t] == dist[v][t] {
+					if row[t] == -1 || nb.To < row[t] {
+						row[t] = nb.To
+					}
+				}
+			}
+		}
+		out[v] = row
+	}
+	return out
+}
+
+// FollowRoute walks the forwarding tables from s toward t and returns the
+// node sequence, or nil if forwarding fails (loop or dead end). On tables
+// from exact APSP the walk always realizes a shortest path.
+func FollowRoute(tables [][]int, s, t int) []int {
+	path := []int{s}
+	cur := s
+	for cur != t {
+		if len(path) > len(tables) {
+			return nil // loop guard
+		}
+		next := tables[cur][t]
+		if next < 0 {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// PathWeight sums the edge weights along the node sequence path in g. It
+// reports false when the path is empty or traverses a non-edge, so callers
+// can distinguish "weight 0" from "not a path".
+func PathWeight(g *Graph, path []int) (int64, bool) {
+	if len(path) == 0 {
+		return 0, false
+	}
+	var total int64
+	for i := 1; i < len(path); i++ {
+		w, ok := g.Weight(path[i-1], path[i])
+		if !ok {
+			return 0, false
+		}
+		total += w
+	}
+	return total, true
+}

@@ -1,0 +1,246 @@
+// Package replay is the load harness for the resident query server: it
+// replays a deterministic zipfian-source query stream against a running
+// hybridserve instance at several concurrency levels and reports latency
+// percentiles and throughput per level.
+//
+// Determinism contract: the query sequence is a pure function of
+// (Seed, N, Queries, ZipfS, RouteEvery) — it is pre-generated before any
+// worker starts, so two runs with the same configuration replay the
+// identical queries in the identical per-level sets. Workers drain the
+// sequence through an atomic cursor, so which worker fires which query is
+// scheduling-dependent, but every aggregate count (queries, route/distance
+// mix, unreachable answers) is reproducible; only wall-clock-derived
+// fields (latency, qps) vary run to run. The golden-schema test pins the
+// report's JSON field set so renames break loudly.
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes one replay run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// N is the served graph's node count (the query ID space).
+	N int
+	// Queries is the number of queries replayed at EACH concurrency level.
+	Queries int
+	// Levels are the worker counts to sweep, e.g. [1, 4, 16].
+	Levels []int
+	// Seed roots the query-stream randomness.
+	Seed int64
+	// ZipfS is the zipf skew of the source distribution (must be > 1;
+	// defaulted to 1.2 when zero) — a few hot sources dominate, the
+	// "popular origin" shape of IP traffic. Targets are uniform.
+	ZipfS float64
+	// RouteEvery makes every k-th query a /route walk instead of a
+	// /distance lookup (0 disables routes; 4 means 1 in 4 is a route).
+	RouteEvery int
+}
+
+// Query is one replayed request.
+type Query struct {
+	S, T  int
+	Route bool
+}
+
+// LevelResult aggregates one concurrency level's replay.
+type LevelResult struct {
+	Concurrency     int     `json:"concurrency"`
+	Queries         int     `json:"queries"`
+	DistanceQueries int     `json:"distance_queries"`
+	RouteQueries    int     `json:"route_queries"`
+	Unreachable     int     `json:"unreachable"`
+	Errors          int     `json:"errors"`
+	WallMS          float64 `json:"wall_ms"`
+	QPS             float64 `json:"qps"`
+	P50us           float64 `json:"p50_us"`
+	P95us           float64 `json:"p95_us"`
+	P99us           float64 `json:"p99_us"`
+}
+
+// Report is the BENCH_serve.json schema: the build identity of the server
+// under load plus one LevelResult per swept concurrency level.
+type Report struct {
+	Graph          string  `json:"graph"`
+	N              int     `json:"n"`
+	Seed           int64   `json:"seed"`
+	Engine         string  `json:"engine"`
+	WarmStructural bool    `json:"warm_structural"`
+	WarmSeed       bool    `json:"warm_seed"`
+	APSPRounds     int     `json:"apsp_rounds"`
+	BuildMS        float64 `json:"build_ms"`
+
+	ReplaySeed   int64         `json:"replay_seed"`
+	ZipfS        float64       `json:"zipf_s"`
+	TotalQueries int           `json:"total_queries"`
+	Levels       []LevelResult `json:"levels"`
+}
+
+// Sequence pre-generates the deterministic query stream for one level:
+// zipfian sources, uniform targets, every RouteEvery-th query a route.
+func Sequence(cfg Config) []Query {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := cfg.ZipfS
+	if s == 0 {
+		s = 1.2
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(cfg.N-1))
+	qs := make([]Query, cfg.Queries)
+	for i := range qs {
+		qs[i] = Query{
+			S:     int(zipf.Uint64()),
+			T:     rng.Intn(cfg.N),
+			Route: cfg.RouteEvery > 0 && i%cfg.RouteEvery == 0,
+		}
+	}
+	return qs
+}
+
+// Run sweeps the configured concurrency levels, replaying the same
+// deterministic query sequence at each, and returns one LevelResult per
+// level in Levels order.
+func Run(cfg Config) ([]LevelResult, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("replay: need n >= 2, have %d", cfg.N)
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("replay: need queries > 0, have %d", cfg.Queries)
+	}
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("replay: no concurrency levels")
+	}
+	for _, c := range cfg.Levels {
+		if c <= 0 {
+			return nil, fmt.Errorf("replay: concurrency level %d invalid", c)
+		}
+	}
+	seq := Sequence(cfg)
+	results := make([]LevelResult, 0, len(cfg.Levels))
+	for _, c := range cfg.Levels {
+		res, err := runLevel(cfg, seq, c)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// workerStats is one worker's private tally, merged after the level ends
+// so the hot loop shares nothing but the query cursor.
+type workerStats struct {
+	distance, route, unreachable, errs int
+	latencies                          []time.Duration
+}
+
+func runLevel(cfg Config, seq []Query, concurrency int) (LevelResult, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: concurrency,
+	}}
+	defer client.CloseIdleConnections()
+
+	var cursor atomic.Int64
+	stats := make([]workerStats, concurrency)
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(ws *workerStats) {
+			defer wg.Done()
+			ws.latencies = make([]time.Duration, 0, len(seq)/concurrency+1)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(seq) {
+					return
+				}
+				q := seq[i]
+				endpoint := "/distance"
+				if q.Route {
+					endpoint = "/route"
+				}
+				url := fmt.Sprintf("%s%s?s=%d&t=%d", cfg.BaseURL, endpoint, q.S, q.T)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				lat := time.Since(t0)
+				if err != nil {
+					ws.errs++
+					e := fmt.Errorf("replay: %s: %w", url, err)
+					firstErr.CompareAndSwap(nil, &e)
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					ws.errs++
+					e := fmt.Errorf("replay: %s: status %d body %q", url, resp.StatusCode, body)
+					firstErr.CompareAndSwap(nil, &e)
+					continue
+				}
+				ws.latencies = append(ws.latencies, lat)
+				if q.Route {
+					ws.route++
+				} else {
+					ws.distance++
+				}
+				// The handlers mark unreachable pairs in the body; a
+				// byte scan avoids a JSON decode on the hot path.
+				if containsUnreachableTrue(body) {
+					ws.unreachable++
+				}
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if ep := firstErr.Load(); ep != nil {
+		return LevelResult{}, *ep
+	}
+
+	res := LevelResult{Concurrency: concurrency, Queries: len(seq)}
+	var all []time.Duration
+	for _, ws := range stats {
+		res.DistanceQueries += ws.distance
+		res.RouteQueries += ws.route
+		res.Unreachable += ws.unreachable
+		res.Errors += ws.errs
+		all = append(all, ws.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+	if len(all) > 0 {
+		res.P50us = us(percentile(all, 50))
+		res.P95us = us(percentile(all, 95))
+		res.P99us = us(percentile(all, 99))
+	}
+	res.WallMS = float64(wall.Microseconds()) / 1000
+	if wall > 0 {
+		res.QPS = float64(len(seq)) / wall.Seconds()
+	}
+	return res, nil
+}
+
+// percentile reads the nearest-rank p-th percentile from a sorted slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// containsUnreachableTrue detects the marker the distance/route handlers
+// set for unreachable pairs without decoding the whole body.
+func containsUnreachableTrue(body []byte) bool {
+	return bytes.Contains(body, []byte(`"unreachable":true`))
+}

@@ -1,0 +1,228 @@
+// Replay-harness tests: the query stream is a pure function of the seed
+// (identical sequence and identical aggregate counts run over run), and
+// the BENCH_serve.json schema is golden-filed so a field rename breaks
+// loudly (-update to regenerate).
+package replay_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	hybrid "repro"
+	"repro/internal/serve"
+	"repro/internal/serve/replay"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the observed values")
+
+// startGridServer serves exact tables for a connected grid.
+func startGridServer(t *testing.T) (*httptest.Server, int) {
+	t.Helper()
+	g := hybrid.GridGraph(5, 5)
+	dist := hybrid.ExactAPSP(g)
+	tb, err := serve.NewTables(g, dist, hybrid.NextHops(g, dist), serve.BuildInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(tb).Handler())
+	t.Cleanup(ts.Close)
+	return ts, g.N()
+}
+
+// TestReplaySequenceDeterministic pins the determinism contract: same
+// config ⇒ the identical query sequence; a different seed diverges.
+func TestReplaySequenceDeterministic(t *testing.T) {
+	cfg := replay.Config{N: 100, Queries: 500, Seed: 7, ZipfS: 1.2, RouteEvery: 4}
+	a, b := replay.Sequence(cfg), replay.Sequence(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different query sequences")
+	}
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, replay.Sequence(cfg)) {
+		t.Fatal("different seeds produced the identical sequence")
+	}
+	routes := 0
+	for i, q := range a {
+		if q.S < 0 || q.S >= 100 || q.T < 0 || q.T >= 100 {
+			t.Fatalf("query %d out of range: %+v", i, q)
+		}
+		if q.Route {
+			routes++
+		}
+	}
+	if routes != 125 {
+		t.Errorf("route mix %d/500, want every 4th = 125", routes)
+	}
+}
+
+// TestReplayRunAggregatesDeterministic replays the same config twice
+// against a live server: every count in the per-level results must be
+// identical; only wall-clock-derived fields may differ.
+func TestReplayRunAggregatesDeterministic(t *testing.T) {
+	ts, n := startGridServer(t)
+	cfg := replay.Config{
+		BaseURL: ts.URL, N: n, Queries: 400, Levels: []int{1, 3}, Seed: 42, ZipfS: 1.3, RouteEvery: 5,
+	}
+	first, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("level counts %d/%d, want 2", len(first), len(second))
+	}
+	strip := func(rs []replay.LevelResult) []replay.LevelResult {
+		out := append([]replay.LevelResult(nil), rs...)
+		for i := range out {
+			out[i].WallMS, out[i].QPS, out[i].P50us, out[i].P95us, out[i].P99us = 0, 0, 0, 0, 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(first), strip(second)) {
+		t.Errorf("aggregate counts differ across identical replays:\n%+v\n%+v", strip(first), strip(second))
+	}
+	for _, lr := range first {
+		if lr.Queries != 400 || lr.DistanceQueries+lr.RouteQueries != 400 || lr.Errors != 0 {
+			t.Errorf("level %+v inconsistent", lr)
+		}
+		if lr.Unreachable != 0 {
+			t.Errorf("connected grid reported %d unreachable", lr.Unreachable)
+		}
+		if lr.QPS <= 0 || lr.P50us <= 0 || lr.P95us < lr.P50us || lr.P99us < lr.P95us {
+			t.Errorf("level %d latency stats malformed: %+v", lr.Concurrency, lr)
+		}
+	}
+}
+
+// TestReplayCountsUnreachable replays across a disconnected graph: the
+// unreachable tally must be deterministic and non-zero.
+func TestReplayCountsUnreachable(t *testing.T) {
+	g := hybrid.NewGraph(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	dist := hybrid.ExactAPSP(g)
+	tb, err := serve.NewTables(g, dist, hybrid.NextHops(g, dist), serve.BuildInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(tb).Handler())
+	defer ts.Close()
+
+	cfg := replay.Config{BaseURL: ts.URL, N: 6, Queries: 300, Levels: []int{2}, Seed: 3, RouteEvery: 2}
+	first, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := replay.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].Unreachable == 0 {
+		t.Error("no unreachable pairs observed across two components")
+	}
+	if first[0].Unreachable != second[0].Unreachable {
+		t.Errorf("unreachable tally not deterministic: %d vs %d", first[0].Unreachable, second[0].Unreachable)
+	}
+}
+
+// TestReplayRejectsBadConfig pins the config validation.
+func TestReplayRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []replay.Config{
+		{N: 1, Queries: 10, Levels: []int{1}},
+		{N: 10, Queries: 0, Levels: []int{1}},
+		{N: 10, Queries: 10},
+		{N: 10, Queries: 10, Levels: []int{0}},
+	} {
+		if _, err := replay.Run(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestReportGoldenSchema golden-files the BENCH_serve.json field set: the
+// sorted JSON key paths of a fully-populated Report. A renamed or removed
+// field changes the path list and fails here; regenerate deliberately
+// with -update.
+func TestReportGoldenSchema(t *testing.T) {
+	rep := replay.Report{
+		Graph: "grid", N: 1024, Seed: 1, Engine: "step",
+		WarmStructural: true, WarmSeed: true, APSPRounds: 9711, BuildMS: 2400,
+		ReplaySeed: 1, ZipfS: 1.2, TotalQueries: 120000,
+		Levels: []replay.LevelResult{{
+			Concurrency: 1, Queries: 40000, DistanceQueries: 30000, RouteQueries: 10000,
+			Unreachable: 0, Errors: 0, WallMS: 1000, QPS: 40000, P50us: 20, P95us: 40, P99us: 80,
+		}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree any
+	if err := json.Unmarshal(data, &tree); err != nil {
+		t.Fatal(err)
+	}
+	paths := jsonPaths("", tree)
+	sort.Strings(paths)
+	got := strings.Join(paths, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "serve_schema.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("BENCH_serve.json schema diverged from golden (regenerate with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// jsonPaths flattens a decoded JSON tree into key paths; array elements
+// collapse to "[]" so the schema is element-order independent.
+func jsonPaths(prefix string, v any) []string {
+	switch x := v.(type) {
+	case map[string]any:
+		var out []string
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out = append(out, jsonPaths(p, child)...)
+		}
+		return out
+	case []any:
+		seen := map[string]bool{}
+		var out []string
+		for _, child := range x {
+			for _, p := range jsonPaths(prefix+"[]", child) {
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+		return out
+	default:
+		return []string{fmt.Sprintf("%s", prefix)}
+	}
+}

@@ -1,0 +1,291 @@
+// Package serve is the resident query-serving layer: it keeps the output
+// of one APSP run — the distance matrix and the derived next-hop
+// forwarding tables — in memory behind an HTTP/JSON API, turning the
+// batch simulator into the long-lived "efficient IP-routing" service the
+// paper's introduction motivates.
+//
+// The concurrency contract is immutable-publish / atomic-swap: a Tables
+// value is never mutated after Publish; reloads build a complete new
+// Tables and swap the server's pointer atomically. Every request loads
+// the pointer exactly once and answers entirely from that snapshot, so
+// under a mid-flight swap each response is consistent with either the old
+// or the new table — never a mix (the reload race test pins this under
+// the race detector). Compute (HYBRID rounds) and serve (table lookups)
+// are fully split: nothing in this package runs rounds.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// BuildInfo records how a Tables value was computed; it is served verbatim
+// by /stats so clients (and the CLI end-to-end test) can observe the APSP
+// round count and whether the build warm-started from the snapshot cache.
+type BuildInfo struct {
+	Graph  string `json:"graph"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Seed   int64  `json:"seed"`
+	Engine string `json:"engine"`
+	// Rounds is the HYBRID round count of the APSP run that built the
+	// tables — lower on a warm start, which is how warm engagement is
+	// asserted externally.
+	Rounds int `json:"apsp_rounds"`
+	// WarmStructural/WarmSeed mirror hybrid.CacheLoadStatus for the load
+	// that preceded the build.
+	WarmStructural bool `json:"warm_structural"`
+	WarmSeed       bool `json:"warm_seed"`
+	// BuildMS is the wall-clock cost of the APSP run plus table
+	// derivation.
+	BuildMS float64 `json:"build_ms"`
+}
+
+// Tables is one immutable published generation of serving state: the
+// graph it was computed on, the exact distance matrix, and the next-hop
+// forwarding tables. Fields must not be mutated after the value is passed
+// to New or Publish.
+type Tables struct {
+	G    *graph.Graph
+	Dist [][]int64
+	Next [][]int
+	Info BuildInfo
+}
+
+// NewTables validates the shape of a generation (square n×n tables over
+// g's node set) so a malformed publish fails at build time, not on a
+// request path.
+func NewTables(g *graph.Graph, dist [][]int64, next [][]int, info BuildInfo) (*Tables, error) {
+	n := g.N()
+	if len(dist) != n || len(next) != n {
+		return nil, fmt.Errorf("serve: tables for %d nodes, graph has %d", len(dist), n)
+	}
+	for v := 0; v < n; v++ {
+		if len(dist[v]) != n || len(next[v]) != n {
+			return nil, fmt.Errorf("serve: row %d is %d×%d, want %d×%d", v, len(dist[v]), len(next[v]), n, n)
+		}
+	}
+	info.N, info.M = n, g.M()
+	return &Tables{G: g, Dist: dist, Next: next, Info: info}, nil
+}
+
+// Server answers distance and route queries from the current Tables
+// generation. Create with New, swap generations with Publish, mount
+// Handler on any http server. All methods are safe for concurrent use.
+type Server struct {
+	tables atomic.Pointer[Tables]
+	start  time.Time
+
+	distanceQueries atomic.Int64
+	routeQueries    atomic.Int64
+	unreachable     atomic.Int64
+	badRequests     atomic.Int64
+}
+
+// New returns a Server serving t. A nil t starts the server in the
+// not-ready state: /healthz answers 503 and queries are refused until the
+// first Publish — this is how cmd/hybridserve accepts connections while
+// the APSP build is still running.
+func New(t *Tables) *Server {
+	s := &Server{start: time.Now()}
+	if t != nil {
+		s.tables.Store(t)
+	}
+	return s
+}
+
+// Publish atomically swaps the serving state to t. In-flight requests
+// keep the generation they loaded; new requests see t.
+func (s *Server) Publish(t *Tables) {
+	if t == nil {
+		panic("serve: Publish(nil)")
+	}
+	s.tables.Store(t)
+}
+
+// Tables returns the current generation (nil before the first Publish).
+func (s *Server) Tables() *Tables { return s.tables.Load() }
+
+// Handler returns the HTTP API:
+//
+//	GET /distance?s=<node>&t=<node>  exact distance (or unreachable)
+//	GET /route?s=<node>&t=<node>     hop-by-hop shortest path from the
+//	                                 next-hop tables, with total weight
+//	GET /stats                       build info + query counters
+//	GET /healthz                     200 once tables are published, else 503
+//
+// Malformed or out-of-range s/t answer 400 with a JSON error body;
+// unreachable pairs are a 200 with "unreachable": true, never a 500.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", s.handleDistance)
+	mux.HandleFunc("/route", s.handleRoute)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// DistanceResponse is the /distance body.
+type DistanceResponse struct {
+	S           int   `json:"s"`
+	T           int   `json:"t"`
+	Distance    int64 `json:"distance"`
+	Unreachable bool  `json:"unreachable"`
+}
+
+// RouteResponse is the /route body. Path is the node sequence s..t walked
+// from the next-hop tables; Weight is its total edge weight, which on
+// exact-APSP tables equals the distance.
+type RouteResponse struct {
+	S           int    `json:"s"`
+	T           int    `json:"t"`
+	Path        []int  `json:"path,omitempty"`
+	Hops        int    `json:"hops"`
+	Weight      int64  `json:"weight"`
+	Unreachable bool   `json:"unreachable"`
+	Error       string `json:"error,omitempty"`
+}
+
+// StatsResponse is the /stats body: the published generation's BuildInfo
+// plus the server's lifetime query counters.
+type StatsResponse struct {
+	BuildInfo
+	UptimeMS        float64 `json:"uptime_ms"`
+	DistanceQueries int64   `json:"distance_queries"`
+	RouteQueries    int64   `json:"route_queries"`
+	Unreachable     int64   `json:"unreachable"`
+	BadRequests     int64   `json:"bad_requests"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, a ...any) {
+	s.badRequests.Add(1)
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, a...)})
+}
+
+// queryPair loads the current generation and parses s/t against its node
+// range. It returns tb == nil after writing the response when the request
+// cannot proceed (not ready, malformed, out of range).
+func (s *Server) queryPair(w http.ResponseWriter, r *http.Request) (tb *Tables, from, to int) {
+	tb = s.tables.Load()
+	if tb == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "tables not published yet"})
+		return nil, 0, 0
+	}
+	parse := func(name string) (int, bool) {
+		raw := r.URL.Query().Get(name)
+		if raw == "" {
+			s.writeError(w, http.StatusBadRequest, "missing query parameter %q", name)
+			return 0, false
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "parameter %s=%q is not an integer", name, raw)
+			return 0, false
+		}
+		if v < 0 || v >= tb.Info.N {
+			s.writeError(w, http.StatusBadRequest, "node %s=%d out of range [0,%d)", name, v, tb.Info.N)
+			return 0, false
+		}
+		return v, true
+	}
+	from, ok := parse("s")
+	if !ok {
+		return nil, 0, 0
+	}
+	to, ok = parse("t")
+	if !ok {
+		return nil, 0, 0
+	}
+	return tb, from, to
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	tb, from, to := s.queryPair(w, r)
+	if tb == nil {
+		return
+	}
+	s.distanceQueries.Add(1)
+	resp := DistanceResponse{S: from, T: to}
+	if d := tb.Dist[from][to]; d >= graph.Inf {
+		s.unreachable.Add(1)
+		resp.Unreachable = true
+	} else {
+		resp.Distance = d
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	tb, from, to := s.queryPair(w, r)
+	if tb == nil {
+		return
+	}
+	s.routeQueries.Add(1)
+	resp := RouteResponse{S: from, T: to}
+	if tb.Dist[from][to] >= graph.Inf {
+		s.unreachable.Add(1)
+		resp.Unreachable = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	path := graph.FollowRoute(tb.Next, from, to)
+	if path == nil {
+		// Exact-APSP tables cannot dead-end on a reachable pair; a nil
+		// walk means the published generation is internally inconsistent.
+		writeJSON(w, http.StatusInternalServerError, RouteResponse{
+			S: from, T: to, Error: "forwarding walk failed on published tables",
+		})
+		return
+	}
+	weight, ok := graph.PathWeight(tb.G, path)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, RouteResponse{
+			S: from, T: to, Error: "forwarding walk left the graph's edge set",
+		})
+		return
+	}
+	resp.Path = path
+	resp.Hops = len(path) - 1
+	resp.Weight = weight
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	tb := s.tables.Load()
+	resp := StatsResponse{
+		UptimeMS:        float64(time.Since(s.start).Microseconds()) / 1000,
+		DistanceQueries: s.distanceQueries.Load(),
+		RouteQueries:    s.routeQueries.Load(),
+		Unreachable:     s.unreachable.Load(),
+		BadRequests:     s.badRequests.Load(),
+	}
+	if tb != nil {
+		resp.BuildInfo = tb.Info
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.tables.Load() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

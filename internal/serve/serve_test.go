@@ -1,0 +1,366 @@
+// Handler-level tests of the serving layer: every endpoint's happy path
+// and error shape over httptest, with route responses verified
+// edge-by-edge against the graph's adjacency, plus the immutable-publish /
+// atomic-swap consistency contract under a concurrent reload (run under
+// -race in CI).
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	hybrid "repro"
+	"repro/internal/serve"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// buildTables computes exact APSP + next hops for g sequentially and
+// wraps them as a published generation.
+func buildTables(t *testing.T, g *hybrid.Graph, info serve.BuildInfo) *serve.Tables {
+	t.Helper()
+	dist := hybrid.ExactAPSP(g)
+	tb, err := serve.NewTables(g, dist, hybrid.NextHops(g, dist), info)
+	if err != nil {
+		t.Fatalf("NewTables: %v", err)
+	}
+	return tb
+}
+
+func getJSON(t *testing.T, url string, into any) (status int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET %s: Content-Type %q, want application/json", url, ct)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: body %q does not parse: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeDistanceHappy pins /distance on a weighted path where every
+// pairwise distance is known in closed form.
+func TestServeDistanceHappy(t *testing.T) {
+	g := hybrid.NewGraph(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, 5)
+	ts := httptest.NewServer(serve.New(buildTables(t, g, serve.BuildInfo{})).Handler())
+	defer ts.Close()
+
+	want := map[[2]int]int64{{0, 1}: 2, {0, 2}: 5, {0, 3}: 10, {1, 3}: 8, {2, 2}: 0, {3, 0}: 10}
+	for pair, d := range want {
+		var resp serve.DistanceResponse
+		status := getJSON(t, fmt.Sprintf("%s/distance?s=%d&t=%d", ts.URL, pair[0], pair[1]), &resp)
+		if status != http.StatusOK {
+			t.Errorf("distance %v: status %d", pair, status)
+		}
+		if resp.Unreachable || resp.Distance != d || resp.S != pair[0] || resp.T != pair[1] {
+			t.Errorf("distance %v = %+v, want %d", pair, resp, d)
+		}
+	}
+}
+
+// TestServeRouteVerified checks every /route response on a weighted grid
+// edge-by-edge against Graph.Neighbors: consecutive path nodes must be
+// adjacent, the summed edge weights must equal the response weight, and
+// that weight must equal Dist[s][t].
+func TestServeRouteVerified(t *testing.T) {
+	g := hybrid.GridGraph(4, 4)
+	g = hybrid.WithRandomWeights(g, 7, newRand(11))
+	dist := hybrid.ExactAPSP(g)
+	tb, err := serve.NewTables(g, dist, hybrid.NextHops(g, dist), serve.BuildInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(tb).Handler())
+	defer ts.Close()
+
+	for s := 0; s < g.N(); s++ {
+		for to := 0; to < g.N(); to++ {
+			var resp serve.RouteResponse
+			status := getJSON(t, fmt.Sprintf("%s/route?s=%d&t=%d", ts.URL, s, to), &resp)
+			if status != http.StatusOK {
+				t.Fatalf("route %d->%d: status %d (%+v)", s, to, status, resp)
+			}
+			if resp.Unreachable {
+				t.Fatalf("route %d->%d reported unreachable on a connected grid", s, to)
+			}
+			if len(resp.Path) == 0 || resp.Path[0] != s || resp.Path[len(resp.Path)-1] != to {
+				t.Fatalf("route %d->%d path %v does not span the pair", s, to, resp.Path)
+			}
+			if resp.Hops != len(resp.Path)-1 {
+				t.Errorf("route %d->%d: hops %d for path %v", s, to, resp.Hops, resp.Path)
+			}
+			var total int64
+			for i := 1; i < len(resp.Path); i++ {
+				u, v := resp.Path[i-1], resp.Path[i]
+				found := false
+				for _, nb := range g.Neighbors(u) {
+					if nb.To == v {
+						total += nb.W
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("route %d->%d: step %d-%d is not an edge", s, to, u, v)
+				}
+			}
+			if total != resp.Weight || resp.Weight != dist[s][to] {
+				t.Errorf("route %d->%d: walked weight %d, response %d, dist %d",
+					s, to, total, resp.Weight, dist[s][to])
+			}
+		}
+	}
+}
+
+// TestServeBadRequests pins the 400 shape: missing, non-integer, and
+// out-of-range s/t all answer 400 with a JSON error body.
+func TestServeBadRequests(t *testing.T) {
+	g := hybrid.PathGraph(5)
+	srv := serve.New(buildTables(t, g, serve.BuildInfo{}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, q := range []string{
+		"s=0", "t=0", "", "s=0&t=abc", "s=x&t=1", "s=-1&t=0", "s=0&t=5", "s=99&t=0",
+	} {
+		for _, endpoint := range []string{"/distance", "/route"} {
+			var body struct {
+				Error string `json:"error"`
+			}
+			status := getJSON(t, ts.URL+endpoint+"?"+q, &body)
+			if status != http.StatusBadRequest {
+				t.Errorf("%s?%s: status %d, want 400", endpoint, q, status)
+			}
+			if body.Error == "" {
+				t.Errorf("%s?%s: no error field in body", endpoint, q)
+			}
+		}
+	}
+
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.BadRequests == 0 {
+		t.Errorf("bad requests not counted: %+v", stats)
+	}
+}
+
+// TestServeUnreachable pins the explicit unreachable shape on a
+// disconnected graph: 200 with "unreachable": true, never a 500.
+func TestServeUnreachable(t *testing.T) {
+	g := hybrid.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	ts := httptest.NewServer(serve.New(buildTables(t, g, serve.BuildInfo{})).Handler())
+	defer ts.Close()
+
+	var d serve.DistanceResponse
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=3", &d); status != http.StatusOK {
+		t.Errorf("unreachable distance: status %d", status)
+	}
+	if !d.Unreachable {
+		t.Errorf("distance across components = %+v, want unreachable", d)
+	}
+	var r serve.RouteResponse
+	if status := getJSON(t, ts.URL+"/route?s=0&t=2", &r); status != http.StatusOK {
+		t.Errorf("unreachable route: status %d", status)
+	}
+	if !r.Unreachable || len(r.Path) != 0 {
+		t.Errorf("route across components = %+v, want unreachable with no path", r)
+	}
+
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Unreachable != 2 {
+		t.Errorf("unreachable counter %d, want 2", stats.Unreachable)
+	}
+}
+
+// TestServeHealthzLifecycle pins the not-ready state: before the first
+// Publish, /healthz and the query endpoints answer 503; after it, 200.
+func TestServeHealthzLifecycle(t *testing.T) {
+	srv := serve.New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/distance?s=0&t=1", "/route?s=0&t=1"} {
+		if status := getJSON(t, ts.URL+path, nil); status != http.StatusServiceUnavailable {
+			t.Errorf("%s before publish: status %d, want 503", path, status)
+		}
+	}
+	// /stats stays 200 while starting (zero BuildInfo) so dashboards can
+	// watch the counters during a long build.
+	if status := getJSON(t, ts.URL+"/stats", nil); status != http.StatusOK {
+		t.Errorf("/stats before publish: status %d, want 200", status)
+	}
+
+	srv.Publish(buildTables(t, hybrid.PathGraph(3), serve.BuildInfo{}))
+	if status := getJSON(t, ts.URL+"/healthz", nil); status != http.StatusOK {
+		t.Errorf("/healthz after publish: status %d", status)
+	}
+	var d serve.DistanceResponse
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=2", &d); status != http.StatusOK || d.Distance != 2 {
+		t.Errorf("query after publish: status %d resp %+v", status, d)
+	}
+}
+
+// TestServeStatsCounters pins the per-endpoint counters and the BuildInfo
+// passthrough.
+func TestServeStatsCounters(t *testing.T) {
+	g := hybrid.PathGraph(6)
+	info := serve.BuildInfo{Graph: "path", Seed: 9, Engine: "step", Rounds: 1234, WarmSeed: true, BuildMS: 1.5}
+	ts := httptest.NewServer(serve.New(buildTables(t, g, info)).Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		getJSON(t, ts.URL+"/distance?s=0&t=5", nil)
+	}
+	getJSON(t, ts.URL+"/route?s=0&t=5", nil)
+	getJSON(t, ts.URL+"/distance?s=0&t=99", nil) // bad request
+
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.DistanceQueries != 3 || stats.RouteQueries != 1 || stats.BadRequests != 1 {
+		t.Errorf("counters %+v", stats)
+	}
+	if stats.Graph != "path" || stats.N != 6 || stats.Rounds != 1234 || !stats.WarmSeed || stats.WarmStructural {
+		t.Errorf("build info not served: %+v", stats)
+	}
+	if stats.UptimeMS < 0 {
+		t.Errorf("uptime %v", stats.UptimeMS)
+	}
+}
+
+// TestServeNewTablesRejectsMalformed pins the publish-time validation.
+func TestServeNewTablesRejectsMalformed(t *testing.T) {
+	g := hybrid.PathGraph(3)
+	dist := hybrid.ExactAPSP(g)
+	next := hybrid.NextHops(g, dist)
+	if _, err := serve.NewTables(g, dist[:2], next, serve.BuildInfo{}); err == nil {
+		t.Error("short dist accepted")
+	}
+	if _, err := serve.NewTables(g, [][]int64{{0}, {0}, {0}}, next, serve.BuildInfo{}); err == nil {
+		t.Error("ragged dist accepted")
+	}
+}
+
+// TestReloadRaceConsistency is the atomic-swap contract under fire: N
+// goroutines hammer /distance and /route while the publisher swaps
+// between two complete generations (weight-1 and weight-5 copies of one
+// grid). Every response must be internally consistent AND match exactly
+// one of the two generations — a torn read (weight from one, path from
+// the other) fails loudly. CI runs this under -race.
+func TestReloadRaceConsistency(t *testing.T) {
+	base := hybrid.GridGraph(5, 5)
+	heavy := base.Reweight(func(u, v int, w int64) int64 { return 5 * w })
+	distA := hybrid.ExactAPSP(base)
+	distB := hybrid.ExactAPSP(heavy)
+	tbA := buildTables(t, base, serve.BuildInfo{Rounds: 1})
+	tbB := buildTables(t, heavy, serve.BuildInfo{Rounds: 2})
+
+	srv := serve.New(tbA)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	const queriesPerWorker = 150
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := newRand(int64(100 + id))
+			client := &http.Client{}
+			for q := 0; q < queriesPerWorker; q++ {
+				s, to := rng.Intn(base.N()), rng.Intn(base.N())
+				wantA, wantB := distA[s][to], distB[s][to]
+				if q%2 == 0 {
+					var resp serve.DistanceResponse
+					doJSON(t, client, fmt.Sprintf("%s/distance?s=%d&t=%d", ts.URL, s, to), &resp)
+					if resp.Unreachable || (resp.Distance != wantA && resp.Distance != wantB) {
+						t.Errorf("torn distance %d->%d: got %+v, want %d or %d", s, to, resp, wantA, wantB)
+						return
+					}
+				} else {
+					var resp serve.RouteResponse
+					doJSON(t, client, fmt.Sprintf("%s/route?s=%d&t=%d", ts.URL, s, to), &resp)
+					if resp.Unreachable || (resp.Weight != wantA && resp.Weight != wantB) {
+						t.Errorf("torn route %d->%d: got %+v, want weight %d or %d", s, to, resp, wantA, wantB)
+						return
+					}
+					// Same topology in both generations: the walk must be
+					// a real path whose hop count matches.
+					if len(resp.Path) == 0 || resp.Path[0] != s || resp.Path[len(resp.Path)-1] != to || resp.Hops != len(resp.Path)-1 {
+						t.Errorf("route %d->%d malformed path %+v", s, to, resp)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// The reloader: keep swapping generations until every worker is done.
+	go func() {
+		flip := false
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if flip {
+				srv.Publish(tbA)
+			} else {
+				srv.Publish(tbB)
+			}
+			flip = !flip
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if got := stats.DistanceQueries + stats.RouteQueries; got != workers*queriesPerWorker {
+		t.Errorf("served %d queries, want %d", got, workers*queriesPerWorker)
+	}
+}
+
+func doJSON(t *testing.T, client *http.Client, url string, into any) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d body %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("GET %s: body %q: %v", url, body, err)
+	}
+}

@@ -1,33 +1,17 @@
 package hybrid
 
+import "repro/internal/graph"
+
 // NextHops derives per-destination forwarding tables from an exact APSP
 // result — the IP-routing application the paper's introduction motivates
 // ("learning the topology of the local network which can be used for
 // efficient IP-routing"). Entry [v][t] is the neighbor v forwards to on a
 // shortest path toward t (-1 for t == v or unreachable). Ties break toward
 // the smallest neighbor ID, so tables are deterministic and loop-free.
-func NextHops(g *Graph, dist [][]int64) [][]int {
-	n := g.N()
-	out := make([][]int, n)
-	for v := 0; v < n; v++ {
-		row := make([]int, n)
-		for t := 0; t < n; t++ {
-			row[t] = -1
-			if t == v || dist[v][t] >= Inf {
-				continue
-			}
-			for _, nb := range g.Neighbors(v) {
-				if dist[nb.To][t] < Inf && nb.W+dist[nb.To][t] == dist[v][t] {
-					if row[t] == -1 || nb.To < row[t] {
-						row[t] = nb.To
-					}
-				}
-			}
-		}
-		out[v] = row
-	}
-	return out
-}
+//
+// The reconstruction lives in internal/graph so the resident query server
+// (internal/serve, cmd/hybridserve) shares the exact same walk.
+func NextHops(g *Graph, dist [][]int64) [][]int { return graph.NextHops(g, dist) }
 
 // NextHops on an APSPResult: convenience accessor.
 func (r *APSPResult) NextHops(g *Graph) [][]int { return NextHops(g, r.Dist) }
@@ -35,19 +19,9 @@ func (r *APSPResult) NextHops(g *Graph) [][]int { return NextHops(g, r.Dist) }
 // FollowRoute walks the forwarding tables from s toward t and returns the
 // node sequence, or nil if forwarding fails (loop or dead end). On tables
 // from exact APSP the walk always realizes a shortest path.
-func FollowRoute(tables [][]int, s, t int) []int {
-	path := []int{s}
-	cur := s
-	for cur != t {
-		if len(path) > len(tables) {
-			return nil // loop guard
-		}
-		next := tables[cur][t]
-		if next < 0 {
-			return nil
-		}
-		path = append(path, next)
-		cur = next
-	}
-	return path
-}
+func FollowRoute(tables [][]int, s, t int) []int { return graph.FollowRoute(tables, s, t) }
+
+// PathWeight sums the edge weights along the node sequence path in g. It
+// reports false when the path is empty or traverses a non-edge, so callers
+// can distinguish "weight 0" from "not a path".
+func PathWeight(g *Graph, path []int) (int64, bool) { return graph.PathWeight(g, path) }
