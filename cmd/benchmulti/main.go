@@ -1,0 +1,182 @@
+// Command benchmulti measures the step engine's multicore scaling and
+// emits a machine-readable BENCH_multicore.json: one row per GOMAXPROCS
+// setting, all solving the identical APSP instance with autotuned shard
+// count and step-batch width. The committed file is the repository's
+// record of how the first real multicore configuration behaves; the
+// scheduled CI job regenerates it on hosted runners, where the core count
+// actually varies.
+//
+//	benchmulti -graph grid -n 1024 -procs 1,2,4,8
+//
+// Every row self-verifies against the first: the distance matrices must
+// be byte-identical across GOMAXPROCS values (engine results are
+// independent of the parallel grain — the same property the differential
+// tests pin for shard counts and batch widths), and the program exits
+// non-zero if any row diverges, so the JSON is only written for sweeps
+// whose correctness story holds.
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	hybrid "repro"
+)
+
+// report is one row of the BENCH_multicore.json array.
+type report struct {
+	Graph      string `json:"graph"`
+	N          int    `json:"n"`
+	Seed       int64  `json:"seed"`
+	Engine     string `json:"engine"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	Shards     int    `json:"shards"`
+	StepBatch  int    `json:"step_batch"`
+
+	Rounds   int     `json:"rounds"`
+	WallMS   float64 `json:"wall_ms"`
+	Speedup  float64 `json:"speedup"`
+	Checksum string  `json:"checksum"`
+}
+
+func main() {
+	graphKind := flag.String("graph", "grid", "graph: grid|path|cycle|tree|sparse|geometric")
+	n := flag.Int("n", 1024, "number of nodes")
+	procs := flag.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS sweep")
+	seed := flag.Int64("seed", 1, "run seed")
+	out := flag.String("out", "BENCH_multicore.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*graphKind, *n, *procs, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchmulti: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildGraph constructs the sweep's instance; every row reuses the same
+// graph value, so the instance is identical by construction and only the
+// engine's parallel grain varies.
+func buildGraph(kind string, n int, seed int64) (*hybrid.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return hybrid.GridGraph(side, side), nil
+	case "path":
+		return hybrid.PathGraph(n), nil
+	case "cycle":
+		return hybrid.CycleGraph(n), nil
+	case "tree":
+		return hybrid.RandomTreeGraph(n, rng), nil
+	case "sparse":
+		return hybrid.SparseGraph(n, 1.2, rng), nil
+	case "geometric":
+		return hybrid.GeometricGraph(n, 0.15, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+// run executes the sweep and writes the row array to out. GOMAXPROCS is
+// set per row and restored to the entry value before returning.
+func run(graphKind string, n int, procsList string, seed int64, out string) error {
+	var procs []int
+	for _, f := range strings.Split(procsList, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return fmt.Errorf("bad -procs entry %q", f)
+		}
+		procs = append(procs, p)
+	}
+	if len(procs) == 0 {
+		return fmt.Errorf("-procs is empty")
+	}
+
+	g, err := buildGraph(graphKind, n, seed)
+	if err != nil {
+		return err
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []report
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		net := hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(hybrid.EngineStep),
+			hybrid.WithShards(0), hybrid.WithStepBatch(-1))
+		start := time.Now()
+		res, err := net.APSP()
+		if err != nil {
+			return fmt.Errorf("gomaxprocs=%d: %w", p, err)
+		}
+		wall := time.Since(start)
+
+		row := report{
+			Graph:      graphKind,
+			N:          g.N(),
+			Seed:       seed,
+			Engine:     "step",
+			Gomaxprocs: p,
+			Shards:     0,
+			StepBatch:  -1,
+			Rounds:     res.Metrics.Rounds,
+			WallMS:     float64(wall.Microseconds()) / 1000,
+			Checksum:   checksum(res.Dist),
+		}
+		rows = append(rows, row)
+	}
+
+	// Cross-row self-verification: the parallel grain must not change the
+	// answer (or the round count).
+	for _, row := range rows[1:] {
+		if row.Checksum != rows[0].Checksum {
+			return fmt.Errorf("gomaxprocs=%d: distance checksum %s differs from gomaxprocs=%d's %s",
+				row.Gomaxprocs, row.Checksum, rows[0].Gomaxprocs, rows[0].Checksum)
+		}
+		if row.Rounds != rows[0].Rounds {
+			return fmt.Errorf("gomaxprocs=%d: %d rounds differ from gomaxprocs=%d's %d",
+				row.Gomaxprocs, row.Rounds, rows[0].Gomaxprocs, rows[0].Rounds)
+		}
+	}
+	for i := range rows {
+		rows[i].Speedup = rows[0].WallMS / rows[i].WallMS
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s", data)
+	return nil
+}
+
+// checksum is an FNV-1a digest of the dense distance matrix, used to
+// compare rows without holding every matrix in memory.
+func checksum(dist [][]int64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, row := range dist {
+		for _, d := range row {
+			binary.LittleEndian.PutUint64(buf[:], uint64(d))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

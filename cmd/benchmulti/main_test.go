@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readRows parses an emitted BENCH_multicore.json row array.
+func readRows(t *testing.T, path string) []report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []report
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	return rows
+}
+
+// TestRunEmitsReport drives the sweep in-process on a small grid and
+// checks the emitted JSON: one row per GOMAXPROCS value in order, matching
+// checksums and round counts across rows (self-verified by run), positive
+// timings, and speedup anchored at 1.0 for the first row.
+func TestRunEmitsReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_multicore.json")
+	if err := run("grid", 49, "1,2", 1, out); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, out)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for i, want := range []int{1, 2} {
+		row := rows[i]
+		if row.Gomaxprocs != want {
+			t.Errorf("row %d gomaxprocs = %d, want %d", i, row.Gomaxprocs, want)
+		}
+		if row.Graph != "grid" || row.N != 49 || row.Engine != "step" {
+			t.Errorf("row %d identity %+v", i, row)
+		}
+		if row.WallMS <= 0 || row.Rounds <= 0 || row.Checksum == "" {
+			t.Errorf("row %d measurements %+v", i, row)
+		}
+		if row.Checksum != rows[0].Checksum || row.Rounds != rows[0].Rounds {
+			t.Errorf("row %d diverges from row 0: %+v vs %+v", i, row, rows[0])
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("first row speedup = %v, want 1.0", rows[0].Speedup)
+	}
+}
+
+// TestRunRejectsBadFlags pins the error exits.
+func TestRunRejectsBadFlags(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "o.json")
+	if err := run("torus", 49, "1", 1, out); err == nil {
+		t.Error("unknown graph accepted")
+	}
+	if err := run("grid", 49, "", 1, out); err == nil {
+		t.Error("empty procs accepted")
+	}
+	if err := run("grid", 49, "1,zero", 1, out); err == nil {
+		t.Error("non-numeric procs accepted")
+	}
+	if err := run("grid", 49, "0", 1, out); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+// TestRunOtherGraphs smokes the remaining generator branches.
+func TestRunOtherGraphs(t *testing.T) {
+	for _, kind := range []string{"path", "cycle", "tree", "sparse", "geometric"} {
+		dir := t.TempDir()
+		if err := run(kind, 24, "1", 1, filepath.Join(dir, "o.json")); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+// TestCommittedBenchSchema guards the committed BENCH_multicore.json at
+// the repository root: it must parse against the report schema and hold
+// at least four GOMAXPROCS rows with consistent checksums — the same
+// committed-artifact discipline BENCH_serve.json gets from its golden
+// schema test.
+func TestCommittedBenchSchema(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_multicore.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed BENCH_multicore.json missing: %v", err)
+	}
+	rows := readRows(t, path)
+	if len(rows) < 4 {
+		t.Fatalf("committed sweep has %d rows, want >= 4", len(rows))
+	}
+	for i, row := range rows {
+		if row.Gomaxprocs < 1 || row.WallMS <= 0 || row.Rounds <= 0 || row.Checksum == "" {
+			t.Errorf("row %d incomplete: %+v", i, row)
+		}
+		if row.Checksum != rows[0].Checksum {
+			t.Errorf("row %d checksum diverges: %+v", i, row)
+		}
+		if row.Graph == "" || row.Engine == "" || row.N <= 0 {
+			t.Errorf("row %d identity incomplete: %+v", i, row)
+		}
+	}
+}

@@ -132,6 +132,20 @@ func WithGlobalSendFactor(factor int) Option {
 	return func(nw *Network) { nw.cfg.GlobalSendFactor = factor }
 }
 
+// WithShards overrides the parallel engines' shard count (default:
+// autotuned from the CPU count and graph size). Results are independent of
+// the value; it exists for tuning and determinism tests.
+func WithShards(s int) Option {
+	return func(nw *Network) { nw.cfg.Shards = s }
+}
+
+// WithStepBatch sets the step engine's work-stealing batch width (0 =
+// whole-shard tasks, the default; negative = autotuned). Results are
+// independent of the value; see sim.Config.StepBatch.
+func WithStepBatch(b int) Option {
+	return func(nw *Network) { nw.cfg.StepBatch = b }
+}
+
 // WithMaxRounds overrides the runaway-guard round limit.
 func WithMaxRounds(r int) Option {
 	return func(nw *Network) { nw.cfg.MaxRounds = r }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/flatmap"
 	"repro/internal/ncc"
 	"repro/internal/persist"
 	"repro/internal/sim"
@@ -219,39 +220,40 @@ func (r wRecs) PayloadWords() int64 { return 2 * int64(len(r)) }
 // member list itself is cached), propagation is the same
 // own-cluster-only forwarding over the same subgraph for the same 2β
 // rounds, so it reaches exactly the nodes the member flood would and the
-// resulting WMembers list is byte-identical to the cold one.
+// resulting WMembers list is byte-identical to the cold one. Dedup and
+// delta staging follow the member flood's allocation discipline: a flat
+// set plus rotated delta buffers (see skeleton.LimitedExplore).
 func floodW(env *sim.Env, inW bool, ruler int, rounds int) []int {
-	seen := map[int]bool{}
-	var delta wRecs
+	var seen flatmap.Set
+	var bufs [2]wRecs
 	if inW {
-		seen[env.ID()] = true
-		delta = wRecs{{ID: env.ID(), Ruler: ruler}}
+		seen.Add(uint64(env.ID()))
+		bufs[0] = append(bufs[0], wRec{ID: env.ID(), Ruler: ruler})
 	}
 	for step := 0; step < rounds; step++ {
-		if len(delta) > 0 {
-			env.BroadcastLocal(delta)
+		if len(bufs[step&1]) > 0 {
+			env.BroadcastLocal(&bufs[step&1])
 		}
 		in := env.Step()
-		delta = collectW(env, in, ruler, seen)
+		bufs[(step+1)&1] = collectW(env, in, ruler, &seen, bufs[(step+1)&1][:0])
 	}
-	return sortedKeys(seen)
+	return sortedSetKeys(&seen)
 }
 
 // collectW folds one round's arrivals into seen and returns the fresh
-// records to forward (shared by both execution forms).
-func collectW(env *sim.Env, in sim.Inbox, ruler int, seen map[int]bool) wRecs {
-	var next wRecs
+// records to forward, staged into next (shared by both execution forms).
+func collectW(env *sim.Env, in sim.Inbox, ruler int, seen *flatmap.Set, next wRecs) wRecs {
 	for _, lm := range in.Local {
-		recs, ok := lm.Payload.(wRecs)
+		recs, ok := lm.Payload.(*wRecs)
 		if !ok {
 			continue
 		}
-		for _, r := range recs {
+		for _, r := range *recs {
 			if r.Ruler != ruler {
 				continue // other cluster, not ours to track or forward
 			}
-			if !seen[r.ID] {
-				seen[r.ID] = true
+			if !seen.Has(uint64(r.ID)) {
+				seen.Add(uint64(r.ID))
 				next = append(next, r)
 			}
 		}
@@ -259,15 +261,16 @@ func collectW(env *sim.Env, in sim.Inbox, ruler int, seen map[int]bool) wRecs {
 	return next
 }
 
-func sortedKeys(set map[int]bool) []int {
-	if len(set) == 0 {
+// sortedSetKeys drains a flat set of node IDs in ascending order.
+func sortedSetKeys(set *flatmap.Set) []int {
+	if set.Len() == 0 {
 		return nil
 	}
-	out := make([]int, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+	keys := set.AppendSortedKeys(nil)
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = int(k)
 	}
-	sort.Ints(out)
 	return out
 }
 

@@ -21,8 +21,8 @@ package helpers
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/flatmap"
 	"repro/internal/graph"
 	"repro/internal/ruling"
 	"repro/internal/sim"
@@ -124,14 +124,20 @@ func computeCold(env *sim.Env, inW bool, mu int, p Params) Result {
 		bestDist, bestRuler = 0, env.ID()
 	}
 	improved := isRuler
+	// Waves broadcast as pointers into a rotated pair so the hot loop
+	// stages no fresh interface payloads; the slot sent at round r is not
+	// rewritten before r+2 (see the delta-buffer comment in
+	// skeleton.LimitedExplore for the ownership argument).
+	var waveBuf [2]clusterWave
 	for step := 0; step < beta; step++ {
 		if improved {
-			env.BroadcastLocal(clusterWave{Ruler: bestRuler, Dist: bestDist})
+			waveBuf[step&1] = clusterWave{Ruler: bestRuler, Dist: bestDist}
+			env.BroadcastLocal(&waveBuf[step&1])
 			improved = false
 		}
 		in := env.Step()
 		for _, lm := range in.Local {
-			w, ok := lm.Payload.(clusterWave)
+			w, ok := lm.Payload.(*clusterWave)
 			if !ok {
 				continue
 			}
@@ -144,49 +150,59 @@ func computeCold(env *sim.Env, inW bool, mu int, p Params) Result {
 	}
 
 	// Phase 3: learn all members of the own cluster. Nodes flood records of
-	// their own cluster for 2β rounds (intra-cluster diameter bound).
-	known := map[int]memberRec{env.ID(): {ID: env.ID(), Ruler: bestRuler, InW: inW}}
-	delta := memberRecs{known[env.ID()]}
+	// their own cluster for 2β rounds (intra-cluster diameter bound). The
+	// dedup directory is a flat map (ID -> InW) and the delta buffers
+	// rotate, so steady-state flood rounds allocate nothing.
+	var known flatmap.Map[bool]
+	known.Put(uint64(env.ID()), inW)
+	var bufs [2]memberRecs
+	bufs[0] = append(bufs[0], memberRec{ID: env.ID(), Ruler: bestRuler, InW: inW})
 	for step := 0; step < 2*beta; step++ {
-		if len(delta) > 0 {
-			env.BroadcastLocal(delta)
+		if len(bufs[step&1]) > 0 {
+			env.BroadcastLocal(&bufs[step&1])
 		}
 		in := env.Step()
-		var next memberRecs
+		next := bufs[(step+1)&1][:0]
 		for _, lm := range in.Local {
-			recs, ok := lm.Payload.(memberRecs)
+			recs, ok := lm.Payload.(*memberRecs)
 			if !ok {
 				continue
 			}
-			for _, r := range recs {
+			for _, r := range *recs {
 				if r.Ruler != bestRuler {
 					continue // other cluster, not ours to track or forward
 				}
-				if _, seen := known[r.ID]; !seen {
-					known[r.ID] = r
+				if !known.Has(uint64(r.ID)) {
+					known.Put(uint64(r.ID), r.InW)
 					next = append(next, r)
 				}
 			}
 		}
-		delta = next
+		bufs[(step+1)&1] = next
 	}
 
+	res := memberResult(bestRuler, bestDist, inW, mu, &known)
+	res.Helps = sampleHelps(env, p, mu, len(res.Members), res.WMembers)
+	return res
+}
+
+// memberResult drains the member directory into a Result (shared by the
+// goroutine and step forms of the cold construction). The sorted drain
+// yields Members and WMembers in ascending ID order directly.
+func memberResult(ruler, dist int, inW bool, mu int, known *flatmap.Map[bool]) Result {
 	res := Result{
-		Ruler:     bestRuler,
-		RulerDist: bestDist,
+		Ruler:     ruler,
+		RulerDist: dist,
 		InW:       inW,
 		Mu:        mu,
 	}
-	for id, r := range known {
+	for _, k := range known.AppendSortedKeys(nil) {
+		id := int(k)
 		res.Members = append(res.Members, id)
-		if r.InW {
+		if w, _ := known.Get(k); w {
 			res.WMembers = append(res.WMembers, id)
 		}
 	}
-	sort.Ints(res.Members)
-	sort.Ints(res.WMembers)
-
-	res.Helps = sampleHelps(env, p, mu, len(res.Members), res.WMembers)
 	return res
 }
 

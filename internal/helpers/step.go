@@ -1,8 +1,7 @@
 package helpers
 
 import (
-	"sort"
-
+	"repro/internal/flatmap"
 	"repro/internal/ncc"
 	"repro/internal/ruling"
 	"repro/internal/sim"
@@ -72,28 +71,29 @@ func NewMachine(env *sim.Env, inW bool, mu int, params Params) *Machine {
 }
 
 // wFloodMachine is the step form of floodW: the 2β-round W-membership
-// flood of the structural-hit path.
+// flood of the structural-hit path. Its dedup set and delta buffers follow
+// the same allocation discipline as floodW.
 type wFloodMachine struct {
-	seen  map[int]bool
-	delta wRecs
-	loop  sim.Loop
+	seen flatmap.Set
+	bufs [2]wRecs
+	loop sim.Loop
 }
 
 func newWFloodMachine(env *sim.Env, inW bool, ruler int, rounds int) *wFloodMachine {
-	w := &wFloodMachine{seen: map[int]bool{}}
+	w := &wFloodMachine{}
 	if inW {
-		w.seen[env.ID()] = true
-		w.delta = wRecs{{ID: env.ID(), Ruler: ruler}}
+		w.seen.Add(uint64(env.ID()))
+		w.bufs[0] = append(w.bufs[0], wRec{ID: env.ID(), Ruler: ruler})
 	}
 	w.loop = sim.Loop{
 		Rounds: rounds,
 		Send: func(env *sim.Env, i int) {
-			if len(w.delta) > 0 {
-				env.BroadcastLocal(w.delta)
+			if len(w.bufs[i&1]) > 0 {
+				env.BroadcastLocal(&w.bufs[i&1])
 			}
 		},
 		Recv: func(env *sim.Env, in sim.Inbox, i int) {
-			w.delta = collectW(env, in, ruler, w.seen)
+			w.bufs[(i+1)&1] = collectW(env, in, ruler, &w.seen, w.bufs[(i+1)&1][:0])
 		},
 	}
 	return w
@@ -104,7 +104,7 @@ func (w *wFloodMachine) Step(env *sim.Env) bool { return w.loop.Step(env) }
 
 // WMembers returns the sorted W members of this node's cluster; valid once
 // Step returned true.
-func (w *wFloodMachine) WMembers() []int { return sortedKeys(w.seen) }
+func (w *wFloodMachine) WMembers() []int { return sortedSetKeys(&w.seen) }
 
 // newColdProg is the uncached Algorithm 1 machine, writing the finished
 // result to m.Res (the step twin of computeCold).
@@ -114,11 +114,14 @@ func newColdProg(env *sim.Env, m *Machine, inW bool, mu int, p Params) sim.StepP
 
 	var rule *ruling.Machine
 	// Phase 2 state: the lexicographically smallest (dist, ruler) heard.
+	// Waves rotate through waveBuf exactly as in computeCold.
 	bestDist, bestRuler := n+1, -1
 	improved := false
-	// Phase 3 state: the known members of the own cluster.
-	var known map[int]memberRec
-	var delta memberRecs
+	var waveBuf [2]clusterWave
+	// Phase 3 state: the known members of the own cluster (ID -> InW) plus
+	// the rotated delta buffers, mirroring computeCold.
+	var known flatmap.Map[bool]
+	var bufs [2]memberRecs
 
 	return sim.Sequence(
 		func(env *sim.Env) sim.StepProgram {
@@ -134,13 +137,14 @@ func newColdProg(env *sim.Env, m *Machine, inW bool, mu int, p Params) sim.StepP
 				Rounds: beta,
 				Send: func(env *sim.Env, i int) {
 					if improved {
-						env.BroadcastLocal(clusterWave{Ruler: bestRuler, Dist: bestDist})
+						waveBuf[i&1] = clusterWave{Ruler: bestRuler, Dist: bestDist}
+						env.BroadcastLocal(&waveBuf[i&1])
 						improved = false
 					}
 				},
 				Recv: func(env *sim.Env, in sim.Inbox, i int) {
 					for _, lm := range in.Local {
-						w, ok := lm.Payload.(clusterWave)
+						w, ok := lm.Payload.(*clusterWave)
 						if !ok {
 							continue
 						}
@@ -154,51 +158,38 @@ func newColdProg(env *sim.Env, m *Machine, inW bool, mu int, p Params) sim.StepP
 			}
 		},
 		func(env *sim.Env) sim.StepProgram {
-			known = map[int]memberRec{env.ID(): {ID: env.ID(), Ruler: bestRuler, InW: inW}}
-			delta = memberRecs{known[env.ID()]}
+			known.Put(uint64(env.ID()), inW)
+			bufs[0] = append(bufs[0], memberRec{ID: env.ID(), Ruler: bestRuler, InW: inW})
 			return &sim.Loop{
 				Rounds: 2 * beta,
 				Send: func(env *sim.Env, i int) {
-					if len(delta) > 0 {
-						env.BroadcastLocal(delta)
+					if len(bufs[i&1]) > 0 {
+						env.BroadcastLocal(&bufs[i&1])
 					}
 				},
 				Recv: func(env *sim.Env, in sim.Inbox, i int) {
-					var next memberRecs
+					next := bufs[(i+1)&1][:0]
 					for _, lm := range in.Local {
-						recs, ok := lm.Payload.(memberRecs)
+						recs, ok := lm.Payload.(*memberRecs)
 						if !ok {
 							continue
 						}
-						for _, r := range recs {
+						for _, r := range *recs {
 							if r.Ruler != bestRuler {
 								continue // other cluster, not ours to track or forward
 							}
-							if _, seen := known[r.ID]; !seen {
-								known[r.ID] = r
+							if !known.Has(uint64(r.ID)) {
+								known.Put(uint64(r.ID), r.InW)
 								next = append(next, r)
 							}
 						}
 					}
-					delta = next
+					bufs[(i+1)&1] = next
 				},
 			}
 		},
 		sim.Finish(func(env *sim.Env) {
-			res := Result{
-				Ruler:     bestRuler,
-				RulerDist: bestDist,
-				InW:       inW,
-				Mu:        mu,
-			}
-			for id, r := range known {
-				res.Members = append(res.Members, id)
-				if r.InW {
-					res.WMembers = append(res.WMembers, id)
-				}
-			}
-			sort.Ints(res.Members)
-			sort.Ints(res.WMembers)
+			res := memberResult(bestRuler, bestDist, inW, mu, &known)
 			res.Helps = sampleHelps(env, p, mu, len(res.Members), res.WMembers)
 			m.Res = res
 		}),

@@ -1,0 +1,57 @@
+package hybridapsp
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/skeleton"
+)
+
+// TestSteadyStateRoundZeroAlloc is the memory-discipline gate of the round
+// loop: once the delta buffers, staging buckets, and inboxes of a grid APSP
+// run are warm, advancing the step engine by one full round must allocate
+// nothing. Every per-round allocation the flatmap migration removed — fresh
+// dedup maps, fresh delta slices, value-interface payload boxing — would
+// reappear here as a nonzero count, so the test pins the whole chain:
+// skeleton explore scratch, engine delivery, and payload staging.
+//
+// The measured window sits inside the pipeline's all-sources exploration
+// (the dominant phase: h rounds of multi-source Bellman-Ford), past the
+// wave's peak so every buffer has seen its maximum occupancy. On the
+// unweighted 32x32 grid a node's per-round update count is the number of
+// sources at exactly the current hop distance, which peaks no later than
+// hop 31 (half the diameter); measuring from hop ~40 onward therefore
+// touches only warm capacity.
+func TestSteadyStateRoundZeroAlloc(t *testing.T) {
+	g := graph.Grid(32, 32)
+	n := g.N()
+	h := (skeleton.Params{}).H(n)
+
+	st, err := sim.NewStepper(g, sim.Config{Engine: sim.EngineStep, Shards: 1, Seed: 7},
+		func(env *sim.Env) sim.StepProgram {
+			return NewComputeMachine(env, Params{}, func([]int64) {})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up through phase 1 (skeleton explore, h rounds) and 40 hops into
+	// the all-sources exploration.
+	if st.Advance(h + 41) {
+		t.Fatal("run finished during warmup; measurement window is gone")
+	}
+
+	// AllocsPerRun runs the body once extra as its own warmup; 20 measured
+	// rounds keeps the window inside the exploration phase (h rounds long).
+	allocs := testing.AllocsPerRun(20, func() {
+		st.Advance(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state APSP round allocates: got %v allocs/round, want 0", allocs)
+	}
+
+	if _, err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -121,8 +121,8 @@ func Compute(env *sim.Env, params Params) []int64 {
 	// doubles as the output accumulator.
 	out := local
 	for s, ds := range skel.Near {
-		vec := labels[s]
-		if vec == nil {
+		vec, ok := labels.Get(uint64(s))
+		if !ok {
 			continue
 		}
 		for v := 0; v < n; v++ {

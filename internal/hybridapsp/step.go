@@ -98,11 +98,11 @@ func NewComputeMachine(env *sim.Env, params Params, done func([]int64)) sim.Step
 		},
 		// Final combine: local estimate vs routes through nearby skeletons.
 		sim.Finish(func(env *sim.Env) {
-			labels := floodM.Known
+			labels := &floodM.Known
 			out := local
 			for s, ds := range skel.Near {
-				vec := labels[s]
-				if vec == nil {
+				vec, ok := labels.Get(uint64(s))
+				if !ok {
 					continue
 				}
 				for v := 0; v < n; v++ {

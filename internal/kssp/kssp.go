@@ -197,7 +197,7 @@ func simVector(simRes cliquesim.Result, reps []skeleton.RepInfo) []int64 {
 
 // combineEstimates applies Equation (1):
 // d~(v,s) = min(d_ηh(v,s), min_u d_h(v,u) + d~(u,r_s) + d_h(r_s,s)).
-func combineEstimates(skel skeleton.Result, reps []skeleton.RepInfo, simRes cliquesim.Result, local []int64, labels map[int][]int64) []SourceDist {
+func combineEstimates(skel skeleton.Result, reps []skeleton.RepInfo, simRes cliquesim.Result, local []int64, labels *skeleton.Labels) []SourceDist {
 	out := make([]SourceDist, 0, len(reps))
 	srcOrder := orderedSourceIndex(simRes, reps)
 	for _, ri := range reps {
@@ -205,8 +205,8 @@ func combineEstimates(skel skeleton.Result, reps []skeleton.RepInfo, simRes cliq
 		oi, hasRep := srcOrder[ri.Source]
 		if hasRep {
 			for u, du := range skel.Near {
-				vec := labels[u]
-				if vec == nil {
+				vec, ok := labels.Get(uint64(u))
+				if !ok {
 					continue
 				}
 				if dv := vec[oi]; dv >= 0 {

@@ -50,7 +50,7 @@ func NewComputeMachine(env *sim.Env, isSource bool, kBound int, spec AlgSpec, pa
 			return floodM
 		},
 		sim.Finish(func(env *sim.Env) {
-			done(combineEstimates(skelM.Res, repsM.Out, simRes, exploreM.Near, floodM.Known))
+			done(combineEstimates(skelM.Res, repsM.Out, simRes, exploreM.Near, &floodM.Known))
 		}),
 	)
 }

@@ -20,6 +20,7 @@ package ncc
 import (
 	"sort"
 
+	"repro/internal/flatmap"
 	"repro/internal/sim"
 )
 
@@ -219,12 +220,12 @@ func Disseminate(env *sim.Env, mine []Token, k, ell int, params DisseminateParam
 	n := env.N()
 	logN := sim.Log2Ceil(n)
 	budget := env.GlobalCap()
-	known := make(map[Token]bool, k)
+	var known flatmap.TripleSet
 	for _, t := range mine {
-		known[t] = true
+		known.Add(flatmap.Triple(t))
 	}
 	if k <= 0 {
-		return tokensOf(known)
+		return tokensOf(&known)
 	}
 
 	// Deterministic schedule, identical at every node.
@@ -292,46 +293,50 @@ func Disseminate(env *sim.Env, mine []Token, k, ell int, params DisseminateParam
 		in := env.Step()
 		for _, gm := range in.Global {
 			if gm.Kind == kindReplicate {
-				known[Token{gm.F0, gm.F1, gm.F2}] = true
+				known.Add(flatmap.Triple{A: gm.F0, B: gm.F1, C: gm.F2})
 			}
 		}
 	}
 	// Tokens this node held also count as known.
 	for _, j := range jobs {
-		known[j.t] = true
+		known.Add(flatmap.Triple(j.t))
 	}
 
-	// Phase 3: delta flooding over the local network for r rounds. A staged
-	// payload slice is never mutated afterwards (receivers hold references).
-	delta := tokenBatch(tokensOf(known))
+	// Phase 3: delta flooding over the local network for r rounds. The two
+	// delta buffers rotate (see skeleton.LimitedExplore for the ownership
+	// argument), so a staged batch is rewritten only after every reader has
+	// taken the next barrier and steady-state flood rounds are
+	// allocation-free.
+	var bufs [2]tokenBatch
+	bufs[0] = tokensOf(&known)
 	for round := 0; round < r; round++ {
-		if len(delta) > 0 {
-			env.BroadcastLocal(delta)
+		if len(bufs[round&1]) > 0 {
+			env.BroadcastLocal(&bufs[round&1])
 		}
 		in := env.Step()
-		var next tokenBatch
+		next := bufs[(round+1)&1][:0]
 		for _, lm := range in.Local {
-			ts, ok := lm.Payload.(tokenBatch)
+			ts, ok := lm.Payload.(*tokenBatch)
 			if !ok {
 				continue
 			}
-			for _, t := range ts {
-				if !known[t] {
-					known[t] = true
+			for _, t := range *ts {
+				if !known.Has(flatmap.Triple(t)) {
+					known.Add(flatmap.Triple(t))
 					next = append(next, t)
 				}
 			}
 		}
-		delta = next
+		bufs[(round+1)&1] = next
 	}
-	return tokensOf(known)
+	return tokensOf(&known)
 }
 
 // tokensOf returns the sorted token set for deterministic output.
-func tokensOf(set map[Token]bool) []Token {
-	out := make([]Token, 0, len(set))
-	for t := range set {
-		out = append(out, t)
+func tokensOf(set *flatmap.TripleSet) []Token {
+	out := make([]Token, 0, set.Len())
+	for _, tr := range set.AppendAll(nil) {
+		out = append(out, Token(tr))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {

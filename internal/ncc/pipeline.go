@@ -1,6 +1,9 @@
 package ncc
 
-import "repro/internal/sim"
+import (
+	"repro/internal/flatmap"
+	"repro/internal/sim"
+)
 
 // PipelinedBroadcast is the NCC-ONLY token broadcast used as the
 // global-mode-only baseline of the paper's §1 model comparison ("if only
@@ -22,16 +25,16 @@ func PipelinedBroadcast(env *sim.Env, mine []Token, ell int) []Token {
 	slots := n * ell
 	totalRounds := slots + logN
 
-	known := map[Token]bool{}
-	// haveSlot[t] = the token of slot t, if this node knows it.
-	haveSlot := map[int]Token{}
+	var known flatmap.TripleSet
+	// haveSlot maps slot t to its token, if this node knows it.
+	var haveSlot flatmap.Map[Token]
 	for j, t := range mine {
 		if j >= ell {
 			break
 		}
 		slot := env.ID()*ell + j
-		haveSlot[slot] = t
-		known[t] = true
+		haveSlot.Put(uint64(slot), t)
+		known.Add(flatmap.Triple(t))
 	}
 
 	offset := func(id, src int) int { return ((id-src)%n + n) % n }
@@ -45,7 +48,7 @@ func PipelinedBroadcast(env *sim.Env, mine []Token, ell int) []Token {
 		for t := lo; t <= r && t < slots; t++ {
 			b := r - t
 			src := t / ell
-			tok, have := haveSlot[t]
+			tok, have := haveSlot.Get(uint64(t))
 			if !have {
 				continue
 			}
@@ -64,9 +67,9 @@ func PipelinedBroadcast(env *sim.Env, mine []Token, ell int) []Token {
 				continue
 			}
 			tok := Token{A: gm.F0, B: gm.F1, C: gm.F2}
-			haveSlot[int(gm.F3)] = tok
-			known[tok] = true
+			haveSlot.Put(uint64(gm.F3), tok)
+			known.Add(flatmap.Triple(tok))
 		}
 	}
-	return tokensOf(known)
+	return tokensOf(&known)
 }

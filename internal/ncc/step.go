@@ -1,6 +1,9 @@
 package ncc
 
-import "repro/internal/sim"
+import (
+	"repro/internal/flatmap"
+	"repro/internal/sim"
+)
 
 // Step-machine forms of the package's collective primitives (see
 // sim.StepProgram). Each is a faithful port of its goroutine twin —
@@ -175,12 +178,12 @@ func NewDisseminateMachine(env *sim.Env, mine []Token, k, ell int, params Dissem
 	logN := sim.Log2Ceil(n)
 	budget := env.GlobalCap()
 	m := &DisseminateMachine{}
-	known := make(map[Token]bool, k)
+	var known flatmap.TripleSet
 	for _, t := range mine {
-		known[t] = true
+		known.Add(flatmap.Triple(t))
 	}
 	if k <= 0 {
-		m.Out = tokensOf(known)
+		m.Out = tokensOf(&known)
 		m.prog = sim.Sequence()
 		return m
 	}
@@ -203,7 +206,8 @@ func NewDisseminateMachine(env *sim.Env, mine []Token, k, ell int, params Dissem
 	idx := 0
 	var jobs []replicateJob
 	ji := 0
-	var delta tokenBatch
+	// Phase 3 delta buffers, rotated exactly as in Disseminate.
+	var bufs [2]tokenBatch
 
 	m.prog = sim.Sequence(
 		// Phase 1: balancing.
@@ -256,7 +260,7 @@ func NewDisseminateMachine(env *sim.Env, mine []Token, k, ell int, params Dissem
 				Recv: func(env *sim.Env, in sim.Inbox, i int) {
 					for _, gm := range in.Global {
 						if gm.Kind == kindReplicate {
-							known[Token{gm.F0, gm.F1, gm.F2}] = true
+							known.Add(flatmap.Triple{A: gm.F0, B: gm.F1, C: gm.F2})
 						}
 					}
 				},
@@ -265,35 +269,35 @@ func NewDisseminateMachine(env *sim.Env, mine []Token, k, ell int, params Dissem
 		// Phase 3: delta flooding over the local network.
 		func(env *sim.Env) sim.StepProgram {
 			for _, j := range jobs {
-				known[j.t] = true
+				known.Add(flatmap.Triple(j.t))
 			}
-			delta = tokenBatch(tokensOf(known))
+			bufs[0] = tokensOf(&known)
 			return &sim.Loop{
 				Rounds: r,
 				Send: func(env *sim.Env, i int) {
-					if len(delta) > 0 {
-						env.BroadcastLocal(delta)
+					if len(bufs[i&1]) > 0 {
+						env.BroadcastLocal(&bufs[i&1])
 					}
 				},
 				Recv: func(env *sim.Env, in sim.Inbox, i int) {
-					var next tokenBatch
+					next := bufs[(i+1)&1][:0]
 					for _, lm := range in.Local {
-						ts, ok := lm.Payload.(tokenBatch)
+						ts, ok := lm.Payload.(*tokenBatch)
 						if !ok {
 							continue
 						}
-						for _, t := range ts {
-							if !known[t] {
-								known[t] = true
+						for _, t := range *ts {
+							if !known.Has(flatmap.Triple(t)) {
+								known.Add(flatmap.Triple(t))
 								next = append(next, t)
 							}
 						}
 					}
-					delta = next
+					bufs[(i+1)&1] = next
 				},
 			}
 		},
-		sim.Finish(func(env *sim.Env) { m.Out = tokensOf(known) }),
+		sim.Finish(func(env *sim.Env) { m.Out = tokensOf(&known) }),
 	)
 	return m
 }

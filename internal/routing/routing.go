@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/bitrand"
+	"repro/internal/flatmap"
 	"repro/internal/helpers"
 	"repro/internal/ncc"
 	"repro/internal/sim"
@@ -203,8 +204,9 @@ type Session struct {
 	// inter parks tokens at this node in its intermediate role, keyed by
 	// Label.pack() — injective under the package invariants (IDs < 2^14,
 	// I < 2^30; see Label.pack and clique.Slot's tag contract). Reused
-	// across Route calls.
-	inter      u64map
+	// across Route calls; flatmap's shrink-on-reset policy keeps one giant
+	// instance from pinning its peak capacity for the session lifetime.
+	inter      flatmap.Map[int64]
 	replyQueue []reply
 }
 
@@ -322,7 +324,7 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 	maxSend := int(ncc.Aggregate(env, int64(len(myTokenJobs)), ncc.AggMax))
 	fwdRounds := ceilDiv(maxSend, budget)
 	inter := &s.inter
-	inter.reset()
+	inter.Reset()
 	ji := 0
 	for round := 0; round < fwdRounds; round++ {
 		for s := 0; s < budget && ji < len(myTokenJobs); s++ {
@@ -333,7 +335,7 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 		in := env.Step()
 		for _, gm := range in.Global {
 			if gm.Kind == kindToken {
-				inter.put(Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}.pack(), gm.F3)
+				inter.Put(Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}.pack(), gm.F3)
 			}
 		}
 	}
@@ -342,7 +344,7 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 	// intermediates answer, pacing replies at the cap. Drain time is
 	// bounded by the max number of tokens parked at one intermediate.
 	maxReq := int(ncc.Aggregate(env, int64(len(myLabelJobs)), ncc.AggMax))
-	maxHeld := int(ncc.Aggregate(env, int64(inter.len()), ncc.AggMax))
+	maxHeld := int(ncc.Aggregate(env, int64(inter.Len()), ncc.AggMax))
 	reqRounds := ceilDiv(maxReq, budget) + ceilDiv(maxHeld, budget) + 1
 
 	var gotTokens []Token
@@ -367,7 +369,7 @@ func (s *Session) Route(send []Token, expect []Label) []Token {
 			switch gm.Kind {
 			case kindRequest:
 				l := Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}
-				if v, ok := inter.get(l.pack()); ok {
+				if v, ok := inter.Get(l.pack()); ok {
 					replyQueue = append(replyQueue, reply{to: gm.Src, tok: Token{Label: l, Value: v}})
 				}
 			case kindAnswer:
@@ -419,10 +421,10 @@ func announceHelpers(env *sim.Env, res helpers.Result, mu int) map[int][]int {
 	n := env.N()
 	beta := 2 * mu * sim.Log2Ceil(n)
 	pair := func(w, helper int) uint64 { return uint64(w)<<32 | uint64(uint32(helper)) }
-	var known u64set
+	var known flatmap.Set
 	sets := map[int][]int{}
 	record := func(w, helper int) bool {
-		if known.add(pair(w, helper)) {
+		if known.Add(pair(w, helper)) {
 			sets[w] = append(sets[w], helper)
 			return true
 		}

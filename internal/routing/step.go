@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bitrand"
+	"repro/internal/flatmap"
 	"repro/internal/helpers"
 	"repro/internal/ncc"
 	"repro/internal/sim"
@@ -214,7 +215,7 @@ func NewRouteMachine(s *Session, send []Token, expect []Label) *RouteMachine {
 			return aggSend
 		},
 		func(env *sim.Env) sim.StepProgram {
-			inter.reset()
+			inter.Reset()
 			return &sim.Loop{
 				Rounds: ceilDiv(int(aggSend.Out), budget),
 				Send: func(env *sim.Env, i int) {
@@ -227,7 +228,7 @@ func NewRouteMachine(s *Session, send []Token, expect []Label) *RouteMachine {
 				Recv: func(env *sim.Env, in sim.Inbox, i int) {
 					for _, gm := range in.Global {
 						if gm.Kind == kindToken {
-							inter.put(Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}.pack(), gm.F3)
+							inter.Put(Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}.pack(), gm.F3)
 						}
 					}
 				},
@@ -240,7 +241,7 @@ func NewRouteMachine(s *Session, send []Token, expect []Label) *RouteMachine {
 			return aggReq
 		},
 		func(env *sim.Env) sim.StepProgram {
-			aggHeld = ncc.NewAggregateMachine(env, int64(inter.len()), ncc.AggMax)
+			aggHeld = ncc.NewAggregateMachine(env, int64(inter.Len()), ncc.AggMax)
 			return aggHeld
 		},
 		func(env *sim.Env) sim.StepProgram {
@@ -261,7 +262,7 @@ func NewRouteMachine(s *Session, send []Token, expect []Label) *RouteMachine {
 						switch gm.Kind {
 						case kindRequest:
 							l := Label{S: int(gm.F0), R: int(gm.F1), I: gm.F2}
-							if v, ok := inter.get(l.pack()); ok {
+							if v, ok := inter.Get(l.pack()); ok {
 								replyQueue = append(replyQueue, reply{to: gm.Src, tok: Token{Label: l, Value: v}})
 							}
 						case kindAnswer:
@@ -339,7 +340,7 @@ type announceMachine struct {
 
 	loop  sim.Loop
 	ruler int
-	known u64set
+	known flatmap.Set
 	delta helperAnnounces
 }
 
@@ -381,7 +382,7 @@ func newAnnounceMachine(env *sim.Env, res helpers.Result, mu int) *announceMachi
 
 // record registers one (w, helper) pair, reporting whether it was new.
 func (a *announceMachine) record(w, helper int) bool {
-	if a.known.add(uint64(w)<<32 | uint64(uint32(helper))) {
+	if a.known.Add(uint64(w)<<32 | uint64(uint32(helper))) {
 		a.Sets[w] = append(a.Sets[w], helper)
 		return true
 	}

@@ -155,6 +155,7 @@ func TestEngineString(t *testing.T) {
 
 func benchEngineRounds(b *testing.B, eng Engine, traffic bool) {
 	g := graph.Grid(32, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := Run(g, Config{Engine: eng}, func(env *Env) {

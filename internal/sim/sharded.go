@@ -34,12 +34,14 @@ import (
 // differential-testing oracle: for any program and seed, both engines must
 // produce byte-identical results and Metrics. engines_test.go enforces this.
 
-// shardTask is one unit of worker-pool work: deliver shard k (the default)
-// or, under the step engine, advance the state machines of shard k's nodes
-// by one round (see step.go).
+// shardTask is one unit of worker-pool work: deliver shard k (the default),
+// advance the state machines of shard k's nodes by one round (step), or
+// join the work-stealing batch pool of a step generation (step+batch); see
+// step.go.
 type shardTask struct {
-	k    int
-	step bool
+	k     int
+	step  bool
+	batch bool
 }
 
 // shardResult is one worker's metric delta for one round. Merging the
@@ -59,12 +61,27 @@ type shardResult struct {
 	violCount  int
 }
 
+// minShardNodes is the autotune floor on nodes per shard: below it the
+// per-round fan-out/merge overhead of another worker outweighs the stepping
+// and delivery work it takes over (measured on the grid APSP workload).
+const minShardNodes = 64
+
 // initSharded sizes the shards and preallocates the per-env staging state.
+// Shards <= 0 autotunes: one shard per available CPU, capped so every
+// shard keeps at least minShardNodes nodes. The shard count never changes
+// results (the differential tests pin shard-count invariance), only the
+// parallel grain.
 func (e *engine) initSharded() {
 	e.sharded = true
 	s := e.cfg.Shards
 	if s <= 0 {
 		s = runtime.GOMAXPROCS(0)
+		if max := e.n / minShardNodes; s > max {
+			s = max
+		}
+		if s < 1 {
+			s = 1
+		}
 	}
 	if s > e.n {
 		s = e.n
@@ -76,6 +93,15 @@ func (e *engine) initSharded() {
 	for k := range e.dirty {
 		e.dirty[k] = make([]bool, e.n)
 	}
+	e.stepBatch = e.cfg.StepBatch
+	if e.stepBatch < 0 {
+		// Autotune: batches of a quarter shard amortize the cursor
+		// contention while leaving enough batches to rebalance skew.
+		e.stepBatch = e.shardSize / 4
+		if e.stepBatch < 32 {
+			e.stepBatch = 32
+		}
+	}
 	for _, env := range e.envs {
 		env.outLocalSh = make([][]localOut, e.nShards)
 		env.outGlobalSh = make([][]GlobalMsg, e.nShards)
@@ -86,10 +112,14 @@ func (e *engine) initSharded() {
 		for w := 0; w < e.nShards; w++ {
 			go func() {
 				for t := range e.workCh {
-					if t.step {
+					switch {
+					case t.step && t.batch:
+						e.stepBatches()
+						e.resCh <- shardResult{}
+					case t.step:
 						e.stepShard(t.k)
 						e.resCh <- shardResult{}
-					} else {
+					default:
 						e.resCh <- e.runShard(t.k)
 					}
 				}

@@ -171,10 +171,24 @@ type Config struct {
 	// engines produce identical results and Metrics for identical seeds.
 	Engine Engine
 
-	// Shards overrides the sharded engine's shard count (default
-	// GOMAXPROCS, capped at n). Results are independent of the value; it
-	// exists for tuning and for determinism tests across shard counts.
+	// Shards overrides the sharded engine's shard count. Zero (the
+	// default) autotunes: one shard per available CPU, capped so every
+	// shard keeps enough nodes to amortize the per-round fan-out (see
+	// initSharded). Results are independent of the value; it exists for
+	// tuning and for determinism tests across shard counts.
 	Shards int
+
+	// StepBatch controls how the step engine distributes a round's machine
+	// calls across the worker pool when more than one shard is active.
+	// Zero (the default) assigns each worker its whole shard; a positive
+	// value switches to work-stealing batches of that many nodes, which
+	// rebalances rounds whose active nodes cluster in few shards; a
+	// negative value autotunes the batch width from the shard size.
+	// Results are independent of the value (senders stage into per-shard
+	// buckets and delivery drains them in ascending sender ID regardless
+	// of who stepped the sender); the randomized differential tests draw
+	// it alongside Shards to enforce that.
+	StepBatch int
 
 	// GlobalSendFactor scales the global-mode send cap:
 	// cap = GlobalSendFactor * ceil(log2 n). Zero means 1. The paper's
@@ -309,9 +323,12 @@ type engine struct {
 	resCh     chan shardResult
 
 	// Step-engine state (nil unless EngineStep); see step.go.
-	stepMode bool
-	progs    []StepProgram
-	adGroups []*adapterGroup // per-shard adapter multiplexers, nil entries for all-native shards
+	stepMode   bool
+	progs      []StepProgram
+	adGroups   []*adapterGroup // per-shard adapter multiplexers, nil entries for all-native shards
+	stepActive int             // unfinished nodes in the current step run
+	stepBatch  int             // resolved work-stealing batch width, 0 = whole-shard tasks
+	stepCursor atomic.Int64    // next node to claim in a batched step generation
 }
 
 // Env is a node's handle to the engine. All methods must be called only

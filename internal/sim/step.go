@@ -406,27 +406,86 @@ func RunStep(g *graph.Graph, cfg Config, factory StepFactory) (Metrics, error) {
 // alternate round segments with sharded delivery until every node is done.
 // Unlike coordinate() there is nothing to wake or park — the loop iterates.
 func (e *engine) runStepLoop(factory StepFactory) {
+	e.stepInit(factory)
+	for !e.stepAdvance() {
+	}
+}
+
+// stepInit constructs the machines and arms the step loop's progress
+// counter; it runs before round 0, exactly once per run.
+func (e *engine) stepInit(factory StepFactory) {
 	e.progs = make([]StepProgram, e.n)
 	for i, env := range e.envs {
 		e.progs[i] = e.buildProg(factory, env)
 	}
 	e.initAdapterGroups()
-	active := e.n
-	for {
-		e.stepGeneration()
-		active -= e.deliverSharded()
-		if e.generation >= e.cfg.MaxRounds {
-			e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
-		}
-		e.roundBoundary()
-		if e.aborted.Load() {
-			e.releaseAdapters()
-			return
-		}
-		if active == 0 {
-			return
-		}
+	e.stepActive = e.n
+}
+
+// stepAdvance executes one iteration of the step loop — one round segment
+// for every unfinished node plus delivery — and reports whether the run is
+// over (every node done, or aborted). It is the unit Stepper.Advance
+// exposes; runStepLoop is nothing but stepInit plus stepAdvance-until-true.
+func (e *engine) stepAdvance() bool {
+	e.stepGeneration()
+	e.stepActive -= e.deliverSharded()
+	if e.generation >= e.cfg.MaxRounds {
+		e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
 	}
+	e.roundBoundary()
+	if e.aborted.Load() {
+		e.releaseAdapters()
+		return true
+	}
+	return e.stepActive == 0
+}
+
+// Stepper exposes the EngineStep main loop one delivered round at a time,
+// for harnesses that interleave measurement with the engine's progress —
+// the allocation-regression tests advance through a run's warmup and then
+// assert that further rounds allocate nothing. Only EngineStep is
+// supported: the goroutine engines have no externally steppable loop.
+//
+// A Stepper must be finished exactly once (Finish stops the worker pool);
+// Advance after the run completed is a no-op.
+type Stepper struct {
+	eng  *engine
+	done bool
+}
+
+// NewStepper builds the engine and the per-node machines (round 0 has not
+// run yet) and returns the paused run.
+func NewStepper(g *graph.Graph, cfg Config, factory StepFactory) (*Stepper, error) {
+	if cfg.Engine != EngineStep {
+		return nil, fmt.Errorf("sim: Stepper requires EngineStep, got %v", cfg.Engine)
+	}
+	eng, err := newEngine(g, cfg)
+	if eng == nil {
+		return nil, err
+	}
+	eng.stepMode = true
+	eng.initSharded()
+	eng.stepInit(factory)
+	return &Stepper{eng: eng}, nil
+}
+
+// Advance runs up to `rounds` engine iterations and reports whether the
+// run completed (all nodes done or the run aborted).
+func (s *Stepper) Advance(rounds int) bool {
+	for i := 0; i < rounds && !s.done; i++ {
+		s.done = s.eng.stepAdvance()
+	}
+	return s.done
+}
+
+// Finish drives the run to completion, stops the worker pool, and returns
+// the collected metrics with the engines' shared error contract.
+func (s *Stepper) Finish() (Metrics, error) {
+	for !s.done {
+		s.done = s.eng.stepAdvance()
+	}
+	s.eng.stopSharded()
+	return s.eng.results()
 }
 
 // buildProg constructs one node's machine with the engines' shared panic
@@ -444,10 +503,24 @@ func (e *engine) buildProg(factory StepFactory, env *Env) (sp StepProgram) {
 }
 
 // stepGeneration advances every unfinished node by one round segment,
-// shard-parallel when the worker pool exists.
+// shard-parallel when the worker pool exists. With StepBatch resolved and
+// no adapter groups in play, the workers instead drain the node range in
+// work-stealing batches, which rebalances rounds whose active nodes
+// cluster inside few shards. (Adapter groups pin their members to the
+// shard's wake protocol, so batching is skipped when any exist.)
 func (e *engine) stepGeneration() {
 	if e.nShards == 1 {
 		e.stepShard(0)
+		return
+	}
+	if e.stepBatch > 0 && e.adGroups == nil {
+		e.stepCursor.Store(0)
+		for k := 0; k < e.nShards; k++ {
+			e.workCh <- shardTask{step: true, batch: true}
+		}
+		for k := 0; k < e.nShards; k++ {
+			<-e.resCh
+		}
 		return
 	}
 	for k := 0; k < e.nShards; k++ {
@@ -455,6 +528,25 @@ func (e *engine) stepGeneration() {
 	}
 	for k := 0; k < e.nShards; k++ {
 		<-e.resCh
+	}
+}
+
+// stepBatches is one worker's share of a batched step generation: claim
+// stepBatch-wide node ranges off the shared cursor until the range is
+// drained. Node state and staging buckets are per-sender, so any worker
+// may step any node; delivery stays shard-partitioned.
+func (e *engine) stepBatches() {
+	gen := e.generation
+	for {
+		hi := int(e.stepCursor.Add(int64(e.stepBatch)))
+		lo := hi - e.stepBatch
+		if lo >= e.n {
+			return
+		}
+		if hi > e.n {
+			hi = e.n
+		}
+		e.stepRange(lo, hi, gen)
 	}
 }
 
@@ -505,6 +597,17 @@ func (e *engine) stepShard(k int) {
 			}
 		}
 	}
+	e.stepRange(lo, hi, gen)
+	if g != nil {
+		<-g.done
+	}
+}
+
+// stepRange advances the native machines of nodes [lo, hi) by one round
+// segment; it is the inner loop shared by whole-shard and batched
+// stepping.
+func (e *engine) stepRange(lo, hi, gen int) {
+	p := gen & 1
 	for v := lo; v < hi; v++ {
 		env := e.envs[v]
 		// Group members are skipped before their finished flag is read:
@@ -522,9 +625,6 @@ func (e *engine) stepShard(k int) {
 			env.curInbox = Inbox{}
 		}
 		e.stepNode(env, v)
-	}
-	if g != nil {
-		<-g.done
 	}
 }
 

@@ -1,8 +1,10 @@
 package skeleton
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
+	"repro/internal/flatmap"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -29,27 +31,31 @@ func LimitedExplore(env *sim.Env, isSource bool, rounds int) ([]int64, []int) {
 		hops[i] = -1
 		pending[i] = -1
 	}
-	var delta distUpdates
+	// The delta buffers rotate: the buffer broadcast at round r is read by
+	// neighbors while they process round r and is not written again before
+	// round r+2, when every reader has long taken the r+1 barrier — the
+	// same ownership window as the engines' double-buffered inboxes. The
+	// rotation is what makes steady-state rounds allocation-free: after the
+	// wave's peak, both buffers hold enough capacity for every later round.
+	var bufs [2]distUpdates
 	if isSource {
 		near[env.ID()] = 0
 		hops[env.ID()] = 0
-		delta = append(delta, distUpdate{Source: env.ID(), Dist: 0, Hops: 0})
+		bufs[0] = append(bufs[0], distUpdate{Source: env.ID(), Dist: 0, Hops: 0})
 	}
 	for step := 0; step < rounds; step++ {
-		if len(delta) > 0 {
-			env.BroadcastLocal(delta)
+		if len(bufs[step&1]) > 0 {
+			env.BroadcastLocal(&bufs[step&1])
 		}
 		in := env.Step()
-		// next must be a fresh slice every step: the broadcast delta is
-		// shared with the neighbors that are still reading it this round.
-		var next distUpdates
+		next := bufs[(step+1)&1][:0]
 		for _, lm := range in.Local {
-			ups, ok := lm.Payload.(distUpdates)
+			ups, ok := lm.Payload.(*distUpdates)
 			if !ok {
 				continue
 			}
 			w, _ := env.Graph().Weight(env.ID(), lm.From)
-			for _, up := range ups {
+			for _, up := range *ups {
 				nd := up.Dist + w
 				if nd < near[up.Source] {
 					near[up.Source] = nd
@@ -69,8 +75,8 @@ func LimitedExplore(env *sim.Env, isSource bool, rounds int) ([]int64, []int) {
 		for _, up := range next {
 			pending[up.Source] = -1
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i].Source < next[j].Source })
-		delta = next
+		slices.SortFunc(next, func(a, b distUpdate) int { return cmp.Compare(a.Source, b.Source) })
+		bufs[(step+1)&1] = next
 	}
 	return near, hops
 }
@@ -83,6 +89,11 @@ type floodVec struct {
 	TTL    int
 	Values []int64
 }
+
+// Labels is the result of FloodVectors: the heard label vectors keyed by
+// origin node ID. It is a flat open-addressed map so the flood's per-round
+// dedup inserts stop allocating once the table is warm.
+type Labels = flatmap.Map[[]int64]
 
 // FloodVectors floods this node's label vector (`mine`, nil unless this
 // node is an origin) to the given radius: the vector travels `radius` hops
@@ -100,35 +111,35 @@ type floodVec struct {
 // node that hears it, which turns the per-node Θ(|origins|·|subjects|)
 // storage and hashing of the record form into a per-run cost. Callers must
 // treat received vectors as immutable.
-func FloodVectors(env *sim.Env, mine []int64, radius int) map[int][]int64 {
-	known := map[int][]int64{}
-	var delta floodVecs
+func FloodVectors(env *sim.Env, mine []int64, radius int) *Labels {
+	known := &Labels{}
+	var bufs [2]floodVecs
 	if mine != nil {
-		known[env.ID()] = mine
-		delta = append(delta, floodVec{Origin: env.ID(), TTL: radius, Values: mine})
+		known.Put(uint64(env.ID()), mine)
+		bufs[0] = append(bufs[0], floodVec{Origin: env.ID(), TTL: radius, Values: mine})
 	}
 	for step := 0; step < radius; step++ {
-		if len(delta) > 0 {
-			env.BroadcastLocal(delta)
+		if len(bufs[step&1]) > 0 {
+			env.BroadcastLocal(&bufs[step&1])
 		}
 		in := env.Step()
-		var next floodVecs
+		next := bufs[(step+1)&1][:0]
 		for _, lm := range in.Local {
-			vecs, ok := lm.Payload.(floodVecs)
+			vecs, ok := lm.Payload.(*floodVecs)
 			if !ok {
 				continue
 			}
-			for _, fv := range vecs {
-				if _, seen := known[fv.Origin]; seen {
+			for _, fv := range *vecs {
+				if known.Has(uint64(fv.Origin)) {
 					continue
 				}
-				known[fv.Origin] = fv.Values
+				known.Put(uint64(fv.Origin), fv.Values)
 				if fv.TTL > 1 {
 					next = append(next, floodVec{Origin: fv.Origin, TTL: fv.TTL - 1, Values: fv.Values})
 				}
 			}
 		}
-		delta = next
+		bufs[(step+1)&1] = next
 	}
 	return known
 }

@@ -1,7 +1,8 @@
 package skeleton
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/ncc"
@@ -26,7 +27,10 @@ type ExploreMachine struct {
 
 	loop    sim.Loop
 	pending []int32
-	delta   distUpdates
+	// bufs rotate round-for-round like LimitedExplore's (see the comment
+	// there): bufs[i&1] is the delta broadcast at loop index i, rewritten
+	// no earlier than two barriers after every reader finished with it.
+	bufs [2]distUpdates
 }
 
 // NewExploreMachine builds the collective exploration machine; all nodes
@@ -47,7 +51,7 @@ func NewExploreMachine(env *sim.Env, isSource bool, rounds int) *ExploreMachine 
 	if isSource {
 		m.Near[env.ID()] = 0
 		m.Hops[env.ID()] = 0
-		m.delta = append(m.delta, distUpdate{Source: env.ID(), Dist: 0, Hops: 0})
+		m.bufs[0] = append(m.bufs[0], distUpdate{Source: env.ID(), Dist: 0, Hops: 0})
 	}
 	m.loop = sim.Loop{Rounds: rounds, Send: m.send, Recv: m.recv}
 	return m
@@ -57,22 +61,22 @@ func NewExploreMachine(env *sim.Env, isSource bool, rounds int) *ExploreMachine 
 func (m *ExploreMachine) Step(env *sim.Env) bool { return m.loop.Step(env) }
 
 func (m *ExploreMachine) send(env *sim.Env, i int) {
-	if len(m.delta) > 0 {
-		env.BroadcastLocal(m.delta)
+	if len(m.bufs[i&1]) > 0 {
+		env.BroadcastLocal(&m.bufs[i&1])
 	}
 }
 
 func (m *ExploreMachine) recv(env *sim.Env, in sim.Inbox, i int) {
-	// next must be a fresh slice every round: the broadcast delta is shared
-	// with the neighbors that are still reading it.
-	var next distUpdates
+	// Rebuild the buffer the NEXT send will broadcast; the one sent last
+	// round is still being read by neighbors this round (see bufs).
+	next := m.bufs[(i+1)&1][:0]
 	for _, lm := range in.Local {
-		ups, ok := lm.Payload.(distUpdates)
+		ups, ok := lm.Payload.(*distUpdates)
 		if !ok {
 			continue
 		}
 		w, _ := env.Graph().Weight(env.ID(), lm.From)
-		for _, up := range ups {
+		for _, up := range *ups {
 			nd := up.Dist + w
 			if nd < m.Near[up.Source] {
 				m.Near[up.Source] = nd
@@ -92,8 +96,8 @@ func (m *ExploreMachine) recv(env *sim.Env, in sim.Inbox, i int) {
 	for _, up := range next {
 		m.pending[up.Source] = -1
 	}
-	sort.Slice(next, func(a, b int) bool { return next[a].Source < next[b].Source })
-	m.delta = next
+	slices.SortFunc(next, func(a, b distUpdate) int { return cmp.Compare(a.Source, b.Source) })
+	m.bufs[(i+1)&1] = next
 }
 
 // FloodVectorsMachine is the step form of FloodVectors: radius-limited
@@ -101,10 +105,10 @@ func (m *ExploreMachine) recv(env *sim.Env, in sim.Inbox, i int) {
 type FloodVectorsMachine struct {
 	// Known maps each heard origin to its (shared, immutable) vector; valid
 	// once Step returned true.
-	Known map[int][]int64
+	Known Labels
 
-	loop  sim.Loop
-	delta floodVecs
+	loop sim.Loop
+	bufs [2]floodVecs // rotated like ExploreMachine's delta buffers
 }
 
 // NewFloodVectorsMachine builds the collective flood machine; all nodes
@@ -112,10 +116,10 @@ type FloodVectorsMachine struct {
 // vector (nil unless an origin). It takes exactly `radius` rounds, like
 // FloodVectors.
 func NewFloodVectorsMachine(env *sim.Env, mine []int64, radius int) *FloodVectorsMachine {
-	m := &FloodVectorsMachine{Known: map[int][]int64{}}
+	m := &FloodVectorsMachine{}
 	if mine != nil {
-		m.Known[env.ID()] = mine
-		m.delta = append(m.delta, floodVec{Origin: env.ID(), TTL: radius, Values: mine})
+		m.Known.Put(uint64(env.ID()), mine)
+		m.bufs[0] = append(m.bufs[0], floodVec{Origin: env.ID(), TTL: radius, Values: mine})
 	}
 	m.loop = sim.Loop{Rounds: radius, Send: m.send, Recv: m.recv}
 	return m
@@ -125,29 +129,29 @@ func NewFloodVectorsMachine(env *sim.Env, mine []int64, radius int) *FloodVector
 func (m *FloodVectorsMachine) Step(env *sim.Env) bool { return m.loop.Step(env) }
 
 func (m *FloodVectorsMachine) send(env *sim.Env, i int) {
-	if len(m.delta) > 0 {
-		env.BroadcastLocal(m.delta)
+	if len(m.bufs[i&1]) > 0 {
+		env.BroadcastLocal(&m.bufs[i&1])
 	}
 }
 
 func (m *FloodVectorsMachine) recv(env *sim.Env, in sim.Inbox, i int) {
-	var next floodVecs
+	next := m.bufs[(i+1)&1][:0]
 	for _, lm := range in.Local {
-		vecs, ok := lm.Payload.(floodVecs)
+		vecs, ok := lm.Payload.(*floodVecs)
 		if !ok {
 			continue
 		}
-		for _, fv := range vecs {
-			if _, seen := m.Known[fv.Origin]; seen {
+		for _, fv := range *vecs {
+			if m.Known.Has(uint64(fv.Origin)) {
 				continue
 			}
-			m.Known[fv.Origin] = fv.Values
+			m.Known.Put(uint64(fv.Origin), fv.Values)
 			if fv.TTL > 1 {
 				next = append(next, floodVec{Origin: fv.Origin, TTL: fv.TTL - 1, Values: fv.Values})
 			}
 		}
 	}
-	m.delta = next
+	m.bufs[(i+1)&1] = next
 }
 
 // ComputeMachine is the step form of Compute (Algorithm 6): sample V_S

@@ -69,7 +69,7 @@ func TestFloodVectorsMachineMatches(t *testing.T) {
 	const radius = 4
 	want := make([]map[int][]int64, g.N())
 	wantM, err := sim.Run(g, sim.Config{Seed: 14, Engine: sim.EngineLegacy}, func(env *sim.Env) {
-		want[env.ID()] = FloodVectors(env, mineOf(env.ID(), env.N()), radius)
+		want[env.ID()] = labelsToMap(FloodVectors(env, mineOf(env.ID(), env.N()), radius))
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestFloodVectorsMachineMatches(t *testing.T) {
 			m := NewFloodVectorsMachine(env, mineOf(env.ID(), env.N()), radius)
 			return sim.Sequence(
 				func(*sim.Env) sim.StepProgram { return m },
-				sim.Finish(func(env *sim.Env) { got[env.ID()] = m.Known }),
+				sim.Finish(func(env *sim.Env) { got[env.ID()] = labelsToMap(&m.Known) }),
 			)
 		})
 		if err != nil {
@@ -93,6 +93,17 @@ func TestFloodVectorsMachineMatches(t *testing.T) {
 			t.Errorf("engine=%s: metrics differ: %+v vs %+v", eng, wantM, gotM)
 		}
 	}
+}
+
+// labelsToMap drains a flood result into a plain map for DeepEqual
+// comparison across the two execution forms.
+func labelsToMap(l *Labels) map[int][]int64 {
+	out := map[int][]int64{}
+	for _, k := range l.AppendSortedKeys(nil) {
+		v, _ := l.Get(k)
+		out[int(k)] = v
+	}
+	return out
 }
 
 // TestComputeMachineMatches proves the Algorithm 6 machine byte-identical
