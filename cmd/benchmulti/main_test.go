@@ -7,7 +7,7 @@ import (
 	"testing"
 )
 
-// readRows parses an emitted BENCH_multicore.json row array.
+// readRows parses an emitted benchmulti JSON row array.
 func readRows(t *testing.T, path string) []report {
 	t.Helper()
 	data, err := os.ReadFile(path)
@@ -21,14 +21,14 @@ func readRows(t *testing.T, path string) []report {
 	return rows
 }
 
-// TestRunEmitsReport drives the sweep in-process on a small grid and
+// TestRunEmitsReport drives the step sweep in-process on a small grid and
 // checks the emitted JSON: one row per GOMAXPROCS value in order, matching
 // checksums and round counts across rows (self-verified by run), positive
 // timings, and speedup anchored at 1.0 for the first row.
 func TestRunEmitsReport(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_multicore.json")
-	if err := run("grid", 49, "1,2", 1, out); err != nil {
+	if err := run("grid", 49, "step", "1,2", "", 1, out); err != nil {
 		t.Fatal(err)
 	}
 	rows := readRows(t, out)
@@ -42,6 +42,39 @@ func TestRunEmitsReport(t *testing.T) {
 		}
 		if row.Graph != "grid" || row.N != 49 || row.Engine != "step" {
 			t.Errorf("row %d identity %+v", i, row)
+		}
+		if row.Workers != 0 {
+			t.Errorf("row %d: step row carries workers=%d", i, row.Workers)
+		}
+		if row.WallMS <= 0 || row.Rounds <= 0 || row.Checksum == "" {
+			t.Errorf("row %d measurements %+v", i, row)
+		}
+		if row.Checksum != rows[0].Checksum || row.Rounds != rows[0].Rounds {
+			t.Errorf("row %d diverges from row 0: %+v vs %+v", i, row, rows[0])
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("first row speedup = %v, want 1.0", rows[0].Speedup)
+	}
+}
+
+// TestRunDistEmitsReport drives the dist sweep: one row per worker count,
+// each run spawning real worker processes, with the identity-of-results
+// guard enforced across worker counts before the JSON is written.
+func TestRunDistEmitsReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_dist.json")
+	if err := run("grid", 36, "dist", "", "1,2", 5, out); err != nil {
+		t.Fatal(err)
+	}
+	rows := readRows(t, out)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for i, want := range []int{1, 2} {
+		row := rows[i]
+		if row.Workers != want || row.Engine != "dist" {
+			t.Errorf("row %d = %+v, want dist workers=%d", i, row, want)
 		}
 		if row.WallMS <= 0 || row.Rounds <= 0 || row.Checksum == "" {
 			t.Errorf("row %d measurements %+v", i, row)
@@ -59,17 +92,26 @@ func TestRunEmitsReport(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "o.json")
-	if err := run("torus", 49, "1", 1, out); err == nil {
+	if err := run("torus", 49, "step", "1", "", 1, out); err == nil {
 		t.Error("unknown graph accepted")
 	}
-	if err := run("grid", 49, "", 1, out); err == nil {
+	if err := run("grid", 49, "step", "", "", 1, out); err == nil {
 		t.Error("empty procs accepted")
 	}
-	if err := run("grid", 49, "1,zero", 1, out); err == nil {
+	if err := run("grid", 49, "step", "1,zero", "", 1, out); err == nil {
 		t.Error("non-numeric procs accepted")
 	}
-	if err := run("grid", 49, "0", 1, out); err == nil {
+	if err := run("grid", 49, "step", "0", "", 1, out); err == nil {
 		t.Error("zero procs accepted")
+	}
+	if err := run("grid", 49, "warp", "1", "1", 1, out); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run("grid", 49, "dist", "", "0", 1, out); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := run("grid", 49, "dist", "", "", 1, out); err == nil {
+		t.Error("empty workers accepted")
 	}
 }
 
@@ -77,35 +119,45 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunOtherGraphs(t *testing.T) {
 	for _, kind := range []string{"path", "cycle", "tree", "sparse", "geometric"} {
 		dir := t.TempDir()
-		if err := run(kind, 24, "1", 1, filepath.Join(dir, "o.json")); err != nil {
+		if err := run(kind, 24, "step", "1", "", 1, filepath.Join(dir, "o.json")); err != nil {
 			t.Errorf("%s: %v", kind, err)
 		}
 	}
 }
 
-// TestCommittedBenchSchema guards the committed BENCH_multicore.json at
-// the repository root: it must parse against the report schema and hold
-// at least four GOMAXPROCS rows with consistent checksums — the same
-// committed-artifact discipline BENCH_serve.json gets from its golden
-// schema test.
+// TestCommittedBenchSchema guards the committed benchmark artifacts at the
+// repository root: BENCH_multicore.json (step engine, ≥4 GOMAXPROCS rows)
+// and BENCH_dist.json (dist engine, ≥3 worker rows) must parse against the
+// report schema with consistent checksums — the same committed-artifact
+// discipline BENCH_serve.json gets from its golden schema test.
 func TestCommittedBenchSchema(t *testing.T) {
-	path := filepath.Join("..", "..", "BENCH_multicore.json")
-	if _, err := os.Stat(path); err != nil {
-		t.Fatalf("committed BENCH_multicore.json missing: %v", err)
-	}
-	rows := readRows(t, path)
-	if len(rows) < 4 {
-		t.Fatalf("committed sweep has %d rows, want >= 4", len(rows))
-	}
-	for i, row := range rows {
-		if row.Gomaxprocs < 1 || row.WallMS <= 0 || row.Rounds <= 0 || row.Checksum == "" {
-			t.Errorf("row %d incomplete: %+v", i, row)
+	checkRows := func(t *testing.T, path string, minRows int, engine string) {
+		t.Helper()
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("committed %s missing: %v", filepath.Base(path), err)
 		}
-		if row.Checksum != rows[0].Checksum {
-			t.Errorf("row %d checksum diverges: %+v", i, row)
+		rows := readRows(t, path)
+		if len(rows) < minRows {
+			t.Fatalf("committed sweep has %d rows, want >= %d", len(rows), minRows)
 		}
-		if row.Graph == "" || row.Engine == "" || row.N <= 0 {
-			t.Errorf("row %d identity incomplete: %+v", i, row)
+		for i, row := range rows {
+			if row.Engine != engine {
+				t.Errorf("row %d engine %q, want %q", i, row.Engine, engine)
+			}
+			if row.Gomaxprocs < 1 || row.WallMS <= 0 || row.Rounds <= 0 || row.Checksum == "" {
+				t.Errorf("row %d incomplete: %+v", i, row)
+			}
+			if engine == "dist" && row.Workers < 1 {
+				t.Errorf("row %d missing workers: %+v", i, row)
+			}
+			if row.Checksum != rows[0].Checksum {
+				t.Errorf("row %d checksum diverges: %+v", i, row)
+			}
+			if row.Graph == "" || row.N <= 0 {
+				t.Errorf("row %d identity incomplete: %+v", i, row)
+			}
 		}
 	}
+	checkRows(t, filepath.Join("..", "..", "BENCH_multicore.json"), 4, "step")
+	checkRows(t, filepath.Join("..", "..", "BENCH_dist.json"), 3, "dist")
 }

@@ -168,8 +168,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		}
 	}
 
-	buildStart := time.Now()
-	res, err := net_.APSP()
+	// build runs one full APSP + table derivation under the same graph and
+	// engine configuration; the initial publish and every reload (SIGHUP or
+	// POST /admin/reload) go through this exact closure.
+	build := func() (*serve.Tables, error) {
+		buildStart := time.Now()
+		res, err := net_.APSP()
+		if err != nil {
+			return nil, err
+		}
+		next := res.NextHops(g)
+		buildMS := float64(time.Since(buildStart).Microseconds()) / 1000
+		return serve.NewTables(g, res.Dist, next, serve.BuildInfo{
+			Graph:          *graphKind,
+			Seed:           *seed,
+			Engine:         *engine,
+			Rounds:         res.Metrics.Rounds,
+			WarmStructural: cacheStatus.Structural,
+			WarmSeed:       cacheStatus.Seed,
+			BuildMS:        buildMS,
+		})
+	}
+
+	tables, err := build()
 	if err != nil {
 		shutdown()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -177,25 +198,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		}
 		return fatalf("apsp: %v", err)
 	}
-	next := res.NextHops(g)
-	buildMS := float64(time.Since(buildStart).Microseconds()) / 1000
-
-	tables, err := serve.NewTables(g, res.Dist, next, serve.BuildInfo{
-		Graph:          *graphKind,
-		Seed:           *seed,
-		Engine:         *engine,
-		Rounds:         res.Metrics.Rounds,
-		WarmStructural: cacheStatus.Structural,
-		WarmSeed:       cacheStatus.Seed,
-		BuildMS:        buildMS,
-	})
-	if err != nil {
-		shutdown()
-		return fatalf("%v", err)
-	}
 	srv.Publish(tables)
+	srv.SetRebuild(build)
 	fmt.Fprintf(stdout, "serving %s n=%d m=%d: apsp built in %d rounds (%.0f ms), warm structural=%v seed=%v\n",
-		*graphKind, g.N(), g.M(), res.Metrics.Rounds, buildMS, cacheStatus.Structural, cacheStatus.Seed)
+		*graphKind, g.N(), g.M(), tables.Info.Rounds, tables.Info.BuildMS, cacheStatus.Structural, cacheStatus.Seed)
 
 	if *cacheDir != "" {
 		if err := net_.SaveCache(); err != nil {
@@ -221,10 +227,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		return code
 	}
 
-	<-ctx.Done()
-	fmt.Fprintf(stderr, "shutting down\n")
-	shutdown()
-	return 0
+	// SIGHUP is the conventional daemon reload trigger; it shares the
+	// rebuild path with POST /admin/reload, so both swap generations
+	// atomically while queries keep flowing from the old tables.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(stderr, "shutting down\n")
+			shutdown()
+			return 0
+		case <-hup:
+			fmt.Fprintf(stderr, "SIGHUP: rebuilding tables\n")
+			if t, err := srv.Reload(); err != nil {
+				fmt.Fprintf(stderr, "warning: reload failed: %v (keeping current tables)\n", err)
+			} else {
+				fmt.Fprintf(stderr, "reload %d complete: %d rounds (%.0f ms)\n",
+					srv.Reloads(), t.Info.Rounds, t.Info.BuildMS)
+			}
+		}
+	}
 }
 
 // runBench replays the configured load against baseURL and writes the

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -315,5 +316,56 @@ func TestRunServeListenFailure(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "listen") {
 		t.Errorf("stderr does not report the bind failure:\n%s", stderr.String())
+	}
+}
+
+// TestRunServeReloadTriggers exercises both reload triggers against a live
+// in-process server: POST /admin/reload bumps the generation counter, and
+// a SIGHUP delivered to our own process drives the same rebuild path. Both
+// must leave the server healthy and serving correct distances.
+func TestRunServeReloadTriggers(t *testing.T) {
+	s := startServer(t, "-graph", "grid", "-n", "25", "-seed", "3")
+	s.waitHealthy(t)
+
+	// Trigger 1: the admin endpoint.
+	resp, err := http.Post("http://"+s.addr+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr serve.ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr.Generation != 1 {
+		t.Fatalf("POST /admin/reload = %d %+v, want 200 generation 1", resp.StatusCode, rr)
+	}
+
+	// Trigger 2: SIGHUP to our own process; the run goroutine's signal
+	// loop picks it up. Poll /stats until the second reload lands.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var stats serve.StatsResponse
+		s.getJSON(t, "/stats", &stats)
+		if stats.Reloads >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload never landed (reloads=%d), stderr:\n%s", stats.Reloads, s.stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The reloaded generation must keep serving exact distances: corner to
+	// corner on a 5×5 grid is 8.
+	var dr serve.DistanceResponse
+	if code := s.getJSON(t, "/distance?s=0&t=24", &dr); code != http.StatusOK || dr.Distance != 8 {
+		t.Fatalf("distance after reloads = %d (%+v), want 200 / 8", code, dr)
+	}
+	if code := s.stop(t); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
 	}
 }

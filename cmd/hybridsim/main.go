@@ -50,7 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eps := fs.Float64("eps", 0.5, "epsilon for approximation variants")
 	seed := fs.Int64("seed", 1, "random seed")
 	maxW := fs.Int64("maxw", 1, "max edge weight (1 = unweighted)")
-	engine := fs.String("engine", "sharded", "round engine: sharded|step|legacy")
+	engine := fs.String("engine", "sharded", "round engine: sharded|step|legacy|dist")
+	workers := fs.Int("workers", 0, "dist engine worker-process count (0 = default)")
 	verify := fs.Bool("verify", true, "check results against sequential ground truth")
 	cacheDir := fs.String("cache-dir", "", "directory for the persistent warm-start cache (load before the run, save after)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
@@ -80,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		eng = hybrid.EngineStep
 	case "legacy":
 		eng = hybrid.EngineLegacy
+	case "dist":
+		eng = hybrid.EngineDist
 	default:
 		return fatalf("unknown engine %q", *engine)
 	}
@@ -115,6 +118,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*graphKind, g.N(), g.M(), hybrid.HopDiameter(g), eng)
 
 	opts := []hybrid.Option{hybrid.WithSeed(*seed), hybrid.WithEngine(eng)}
+	if *workers > 0 {
+		opts = append(opts, hybrid.WithWorkers(*workers))
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

@@ -1,0 +1,45 @@
+// hybridworker runs one distributed-engine worker process by hand: it
+// dials a coordinator (see internal/dist), announces the shard it serves,
+// and serves staged rounds until the coordinator shuts it down.
+//
+// EngineDist does not normally need this binary — coordinators re-exec
+// themselves as workers — but a standalone worker is the deployment shape
+// for crossing machine boundaries (start hybridworker processes pointing
+// at a TCP coordinator address) and is handy for debugging the protocol.
+//
+//	hybridworker -addr unix:/tmp/coord.sock -shard 0
+//	hybridworker -addr tcp:10.0.0.7:4242 -shard 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hybridworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "coordinator address with transport prefix (unix:/path or tcp:host:port)")
+	shard := fs.Int("shard", -1, "shard id this worker serves (>= 0)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *addr == "" || *shard < 0 {
+		fmt.Fprintln(stderr, "hybridworker: -addr and -shard are required")
+		fs.Usage()
+		return 2
+	}
+	if err := dist.RunWorker(*addr, *shard); err != nil {
+		fmt.Fprintf(stderr, "hybridworker: %v\n", err)
+		return 1
+	}
+	return 0
+}

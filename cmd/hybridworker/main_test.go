@@ -1,0 +1,85 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist/wire"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},                                   // no addr
+		{"-addr", "unix:/x"},                 // no shard
+		{"-shard", "0"},                      // no addr
+		{"-addr", "unix:/x", "-shard", "-2"}, // negative shard
+		{"-bogus"},                           // unknown flag
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if code := run(args, &sb); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr: %s)", args, code, sb.String())
+		}
+	}
+}
+
+func TestRunDialFailure(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-addr", "unix:/nonexistent/coord.sock", "-shard", "0"}, &sb); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(sb.String(), "hybridworker:") {
+		t.Fatalf("stderr = %q", sb.String())
+	}
+}
+
+// TestRunServesUntilShutdown drives the real binary entrypoint against an
+// in-test coordinator socket: the worker joins, answers a ping, and exits
+// 0 on Shutdown.
+func TestRunServesUntilShutdown(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "unix:" + sock, "-shard", "2"}, os.Stderr)
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	join, err := wire.ReadFrame(conn)
+	if err != nil || join.Type != wire.FrameJoin || join.Shard != 2 {
+		t.Fatalf("join frame = %+v, %v", join, err)
+	}
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.Frame{Type: wire.FrameHeartbeat, Shard: 2})); err != nil {
+		t.Fatal(err)
+	}
+	if pong, err := wire.ReadFrame(conn); err != nil || pong.Type != wire.FrameHeartbeat {
+		t.Fatalf("ping answered with %+v, %v", pong, err)
+	}
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.Frame{Type: wire.FrameShutdown, Shard: 2})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("worker exited %d, want 0", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not exit after shutdown")
+	}
+}

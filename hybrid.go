@@ -9,11 +9,14 @@
 // O(log n) messages of O(log n) bits per round to arbitrary nodes. The
 // package runs real message-passing node programs under a synchronous
 // round barrier and reports the paper's cost measures: rounds, global
-// messages, per-round load. Three interchangeable round engines execute
+// messages, per-round load. Four interchangeable round engines execute
 // the programs (WithEngine); every algorithm is exported as a pipeline
 // implementing both execution forms (see sim.Pipeline), so all of them run
-// step-native on the goroutine-free step engine — all three engines
-// produce byte-identical results and Metrics for a fixed seed.
+// step-native on the goroutine-free step engine — all engines produce
+// byte-identical results and Metrics for a fixed seed, including the
+// multi-process distributed engine (EngineDist), which routes every
+// global message through per-shard worker OS processes over a checksummed
+// wire protocol.
 // ARCHITECTURE.md documents the engine designs, the pipeline contract, and
 // when to pick which engine.
 //
@@ -61,6 +64,7 @@ import (
 
 	"repro/internal/clique"
 	"repro/internal/diameter"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/helpers"
 	"repro/internal/hybridapsp"
@@ -95,7 +99,24 @@ const (
 	// fastest engine on large inputs. See ARCHITECTURE.md for the design
 	// and measured numbers.
 	EngineStep = sim.EngineStep
+	// EngineDist is the multi-process distributed engine (sim v4): node
+	// programs step in the coordinator, but every global-mode message is
+	// routed through its destination shard's worker OS process over the
+	// internal/dist wire protocol (unix sockets by default) with
+	// per-frame checksums, timeouts, bounded retries, heartbeats, and
+	// kill/respawn/replay. It is the slowest engine — every round pays
+	// real serialization and socket round trips — and exists as the
+	// message-passing deployment shape of the HYBRID model, validated
+	// byte-identical against the in-process engines. Configure with
+	// WithWorkers and WithDistOptions.
+	EngineDist = sim.EngineDist
 )
+
+// DistOptions tunes EngineDist's transport and robustness envelope
+// (timeouts, retries, transport, heartbeats, fault injection); it is an
+// alias for the dist package's Options. Tests inject faults via
+// WithDistOptions(dist.WithFaults(...)).
+type DistOptions = dist.Options
 
 // Network wraps a local communication graph with run configuration and the
 // per-instance run context (the routing session cache). Runs on one
@@ -144,6 +165,19 @@ func WithShards(s int) Option {
 // independent of the value; see sim.Config.StepBatch.
 func WithStepBatch(b int) Option {
 	return func(nw *Network) { nw.cfg.StepBatch = b }
+}
+
+// WithWorkers sets EngineDist's worker-process count (default
+// sim.DefaultDistWorkers); the distributed engine runs one shard per
+// worker. Results are independent of the value. Other engines ignore it.
+func WithWorkers(w int) Option {
+	return func(nw *Network) { nw.cfg.DistWorkers = w }
+}
+
+// WithDistOptions tunes EngineDist's transport/robustness envelope and
+// fault injection (nil: defaults). Other engines ignore it.
+func WithDistOptions(o *DistOptions) Option {
+	return func(nw *Network) { nw.cfg.DistOpts = o }
 }
 
 // WithMaxRounds overrides the runaway-guard round limit.

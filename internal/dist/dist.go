@@ -1,0 +1,580 @@
+// Package dist is the multi-process distributed round engine behind
+// sim.EngineDist: a coordinator-side Router that spawns one worker OS
+// process per shard, speaks the internal/dist/wire frame protocol to
+// them (unix sockets by default, TCP optionally), and routes each
+// round's staged global-message batches through the workers with
+// per-frame timeouts, bounded retry/backoff, heartbeats, and
+// kill/respawn/replay — all of it drivable from tests via the Faults
+// injection hook.
+//
+// Importing this package registers the Router as the sim package's
+// DistRouter factory, which is what arms WithEngine(EngineDist) on the
+// facade. Worker processes are re-execs of the current binary, hijacked
+// before main by an env-var check (see worker.go), so any program that
+// can be a coordinator can be its own worker fleet.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist/wire"
+	"repro/internal/sim"
+)
+
+func init() {
+	sim.RegisterDistRouter(func(cfg sim.DistRouterConfig) (sim.DistRouter, error) {
+		return New(cfg)
+	})
+}
+
+// Options tunes the router's transport and robustness envelope. The zero
+// value of every field means its default.
+type Options struct {
+	// Faults is the test-driven fault-injection plan (nil: none).
+	Faults *Faults
+	// FrameTimeout bounds one reply wait per attempt (default 3s).
+	FrameTimeout time.Duration
+	// Retries is the total number of send attempts per round per worker
+	// before the run aborts (default 4).
+	Retries int
+	// Backoff is the base retry backoff, doubled per attempt (default 2ms).
+	Backoff time.Duration
+	// Transport selects "unix" (default) or "tcp".
+	Transport string
+	// HeartbeatEvery is the worker liveness-beacon period (default 500ms;
+	// negative disables heartbeats).
+	HeartbeatEvery time.Duration
+	// WorkerBin overrides the spawned worker executable (default: the
+	// EnvWorkerBin variable, then the coordinator's own binary).
+	WorkerBin string
+}
+
+// WithFaults returns an Options carrying the given fault plan — the
+// hook tests hand to hybrid.WithDistOptions.
+func WithFaults(f *Faults) *Options { return &Options{Faults: f} }
+
+const (
+	defaultFrameTimeout   = 3 * time.Second
+	defaultRetries        = 4
+	defaultBackoff        = 2 * time.Millisecond
+	defaultHeartbeatEvery = 500 * time.Millisecond
+	handshakeTimeout      = 10 * time.Second
+	shutdownGrace         = 3 * time.Second
+)
+
+// resolveOptions fills defaults into a Config.DistOpts value.
+func resolveOptions(v any) (Options, error) {
+	var o Options
+	switch t := v.(type) {
+	case nil:
+	case *Options:
+		if t != nil {
+			o = *t
+		}
+	case Options:
+		o = t
+	case *Faults:
+		o.Faults = t
+	default:
+		return Options{}, fmt.Errorf("dist: unsupported DistOpts type %T (want *dist.Options)", v)
+	}
+	if o.FrameTimeout <= 0 {
+		o.FrameTimeout = defaultFrameTimeout
+	}
+	if o.Retries <= 0 {
+		o.Retries = defaultRetries
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = defaultBackoff
+	}
+	if o.HeartbeatEvery == 0 {
+		o.HeartbeatEvery = defaultHeartbeatEvery
+	}
+	return o, nil
+}
+
+// countReader counts bytes read off a connection so a reply wait that
+// times out can tell "no reply yet" (safe to resend on the same stream)
+// from "timed out mid-frame" (the stream is desynced; the worker must be
+// respawned).
+type countReader struct {
+	c net.Conn
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.c.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// worker is the coordinator's handle to one shard's process.
+type worker struct {
+	shard    int
+	cmd      *exec.Cmd
+	waitCh   chan error
+	conn     net.Conn
+	cr       *countReader
+	lastBeat atomic.Int64 // UnixNano of the last heartbeat seen
+}
+
+// kill forcefully ends the worker process and its connection.
+func (w *worker) kill() {
+	if w == nil {
+		return
+	}
+	if w.cmd != nil && w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	if w.conn != nil {
+		w.conn.Close()
+	}
+}
+
+// Router is the coordinator: it owns the listener, the worker processes,
+// and the per-round request/reply exchange. It implements sim.DistRouter.
+type Router struct {
+	cfg  sim.DistRouterConfig
+	opts Options
+
+	ln      *listener
+	workers []*worker
+
+	// pending holds accepted-but-unclaimed worker connections keyed by
+	// the shard their Join frame announced; concurrent respawns of
+	// different shards may be accepted in either order.
+	acceptMu sync.Mutex
+	pending  map[int]net.Conn
+
+	respawns atomic.Int64
+	closed   atomic.Bool
+}
+
+// New builds a Router for cfg: it opens the listener, spawns one worker
+// process per shard, and completes the Hello handshake with each.
+func New(cfg sim.DistRouterConfig) (*Router, error) {
+	if cfg.Workers <= 0 || cfg.ShardSize <= 0 {
+		return nil, fmt.Errorf("dist: bad router config (workers %d, shard size %d)", cfg.Workers, cfg.ShardSize)
+	}
+	opts, err := resolveOptions(cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := newListener(opts.Transport)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:     cfg,
+		opts:    opts,
+		ln:      ln,
+		workers: make([]*worker, cfg.Workers),
+		pending: make(map[int]net.Conn),
+	}
+	for k := 0; k < cfg.Workers; k++ {
+		w, err := r.spawnWorker(k)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.workers[k] = w
+	}
+	return r, nil
+}
+
+// workerBin resolves the executable to spawn.
+func (r *Router) workerBin() (string, error) {
+	if r.opts.WorkerBin != "" {
+		return r.opts.WorkerBin, nil
+	}
+	if env := os.Getenv(EnvWorkerBin); env != "" {
+		return env, nil
+	}
+	return os.Executable()
+}
+
+// spawnWorker starts shard k's process, waits for it to join, and runs
+// the Hello handshake.
+func (r *Router) spawnWorker(k int) (*worker, error) {
+	bin, err := r.workerBin()
+	if err != nil {
+		return nil, fmt.Errorf("dist: resolving worker binary: %w", err)
+	}
+	cmd := exec.Command(bin)
+	cmd.Env = append(os.Environ(),
+		fmt.Sprintf("%s=%s", envAddr, r.ln.addr),
+		fmt.Sprintf("%s=%d", envShard, k),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: starting worker %d (%s): %w", k, bin, err)
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+
+	conn, err := r.acceptFor(k)
+	if err != nil {
+		cmd.Process.Kill()
+		<-waitCh
+		return nil, err
+	}
+	w := &worker{shard: k, cmd: cmd, waitCh: waitCh, conn: conn, cr: &countReader{c: conn}}
+	if err := r.handshake(w); err != nil {
+		w.kill()
+		<-waitCh
+		return nil, err
+	}
+	return w, nil
+}
+
+// acceptFor accepts connections until shard k's Join arrives, parking
+// other shards' joins in the pending map for their own acceptFor calls.
+func (r *Router) acceptFor(k int) (net.Conn, error) {
+	r.acceptMu.Lock()
+	defer r.acceptMu.Unlock()
+	deadline := time.Now().Add(handshakeTimeout)
+	for {
+		if c, ok := r.pending[k]; ok {
+			delete(r.pending, k)
+			return c, nil
+		}
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := r.ln.ln.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := r.ln.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("dist: waiting for worker %d to join: %w", k, err)
+		}
+		conn.SetReadDeadline(deadline)
+		f, err := wire.ReadFrame(conn)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil || f.Type != wire.FrameJoin {
+			conn.Close()
+			return nil, fmt.Errorf("dist: bad join from worker connection: %v", err)
+		}
+		proto, shard, err := wire.DecodeHandshake(f.Payload)
+		if err != nil || proto != wire.ProtoVersion || shard != f.Shard {
+			conn.Close()
+			return nil, fmt.Errorf("dist: join handshake mismatch (proto %d, shard %d/%d): %v",
+				proto, shard, f.Shard, err)
+		}
+		if shard == k {
+			return conn, nil
+		}
+		if old, ok := r.pending[shard]; ok {
+			old.Close()
+		}
+		r.pending[shard] = conn
+	}
+}
+
+// handshake sends the per-connection Hello and waits for the ack.
+func (r *Router) handshake(w *worker) error {
+	lo := w.shard * r.cfg.ShardSize
+	hi := lo + r.cfg.ShardSize
+	if hi > r.cfg.N {
+		hi = r.cfg.N
+	}
+	beatMillis := int(r.opts.HeartbeatEvery / time.Millisecond)
+	if beatMillis < 0 {
+		beatMillis = 0
+	}
+	hello := wire.Hello{
+		Proto: wire.ProtoVersion, N: r.cfg.N, LogN: r.cfg.LogN, Shard: w.shard,
+		Lo: lo, Hi: hi, StrictRecvFactor: r.cfg.StrictRecvFactor,
+		HeartbeatMillis: beatMillis, Cut: r.cfg.Cut,
+	}
+	frame := wire.AppendFrame(nil, wire.Frame{
+		Type: wire.FrameHello, Shard: w.shard,
+		Payload: wire.AppendHello(nil, hello),
+	})
+	if _, err := w.conn.Write(frame); err != nil {
+		return fmt.Errorf("dist: sending hello to worker %d: %w", w.shard, err)
+	}
+	w.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	defer w.conn.SetReadDeadline(time.Time{})
+	for {
+		f, err := wire.ReadFrame(w.cr)
+		if err != nil {
+			return fmt.Errorf("dist: hello ack from worker %d: %w", w.shard, err)
+		}
+		switch f.Type {
+		case wire.FrameHeartbeat:
+			w.lastBeat.Store(time.Now().UnixNano())
+			continue
+		case wire.FrameHelloAck:
+			proto, shard, err := wire.DecodeHandshake(f.Payload)
+			if err != nil || proto != wire.ProtoVersion || shard != w.shard {
+				return fmt.Errorf("dist: hello ack mismatch from worker %d: %v", w.shard, err)
+			}
+			return nil
+		case wire.FrameError:
+			return fmt.Errorf("dist: worker %d rejected hello: %s", w.shard, f.Payload)
+		default:
+			return fmt.Errorf("dist: unexpected %v frame during handshake with worker %d", f.Type, w.shard)
+		}
+	}
+}
+
+// respawn replaces shard k's worker after a connection-level failure and
+// returns the fresh handle. The replacement replays the in-flight round
+// from the coordinator's retransmit; because workers are pure per-round
+// functions, the replay is byte-identical.
+func (r *Router) respawn(k int) (*worker, error) {
+	old := r.workers[k]
+	old.kill()
+	if old != nil && old.waitCh != nil {
+		select {
+		case <-old.waitCh:
+		case <-time.After(shutdownGrace):
+		}
+	}
+	r.respawns.Add(1)
+	r.opts.Faults.noteRespawn()
+	w, err := r.spawnWorker(k)
+	if err != nil {
+		return nil, fmt.Errorf("dist: respawning worker %d: %w", k, err)
+	}
+	r.workers[k] = w
+	return w, nil
+}
+
+// Respawns reports how many workers the router has replaced.
+func (r *Router) Respawns() int64 { return r.respawns.Load() }
+
+// LastHeartbeat reports when shard's worker last beat (zero time: never).
+func (r *Router) LastHeartbeat(shard int) time.Time {
+	ns := r.workers[shard].lastBeat.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Ping sends a heartbeat to shard's worker and waits for any heartbeat
+// back within the frame timeout.
+func (r *Router) Ping(shard int) error {
+	w := r.workers[shard]
+	frame := wire.AppendFrame(nil, wire.Frame{Type: wire.FrameHeartbeat, Shard: shard})
+	if _, err := w.conn.Write(frame); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(r.opts.FrameTimeout)
+	w.conn.SetReadDeadline(deadline)
+	defer w.conn.SetReadDeadline(time.Time{})
+	for {
+		f, err := wire.ReadFrame(w.cr)
+		if err != nil {
+			return err
+		}
+		if f.Type == wire.FrameHeartbeat {
+			w.lastBeat.Store(time.Now().UnixNano())
+			return nil
+		}
+	}
+}
+
+// RouteRound implements sim.DistRouter: every shard's request batch goes
+// to its worker in parallel, and the sorted replies merge in shard order.
+func (r *Router) RouteRound(round int, outgoing [][]sim.GlobalMsg) ([][]sim.GlobalMsg, sim.DistRoundStats, error) {
+	if r.closed.Load() {
+		return nil, sim.DistRoundStats{}, errors.New("dist: router is closed")
+	}
+	if len(outgoing) != len(r.workers) {
+		return nil, sim.DistRoundStats{}, fmt.Errorf("dist: %d request batches for %d workers", len(outgoing), len(r.workers))
+	}
+	nw := len(r.workers)
+	results := make([][]sim.GlobalMsg, nw)
+	stats := make([]wire.RoundStats, nw)
+	errs := make([]error, nw)
+	if nw == 1 {
+		results[0], stats[0], errs[0] = r.roundTrip(0, round, outgoing[0])
+	} else {
+		var wg sync.WaitGroup
+		for k := 0; k < nw; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				results[k], stats[k], errs[k] = r.roundTrip(k, round, outgoing[k])
+			}(k)
+		}
+		wg.Wait()
+	}
+	total := sim.DistRoundStats{ViolDst: -1}
+	for k := 0; k < nw; k++ {
+		if errs[k] != nil {
+			return nil, sim.DistRoundStats{}, errs[k]
+		}
+		st := stats[k]
+		total.GlobalMsgs += st.Msgs
+		total.CutMsgs += st.CutMsgs
+		if int(st.MaxRecv) > total.MaxRecv {
+			total.MaxRecv = int(st.MaxRecv)
+		}
+		if st.ViolDst >= 0 && (total.ViolDst < 0 || int(st.ViolDst) < total.ViolDst) {
+			total.ViolDst = int(st.ViolDst)
+			total.ViolCount = int(st.ViolCount)
+		}
+	}
+	return results, total, nil
+}
+
+// roundTrip sends one shard's round request and awaits the sorted reply,
+// applying injected faults and surviving timeouts (resend) and connection
+// loss (respawn + replay) within the bounded attempt budget.
+func (r *Router) roundTrip(k, round int, out []sim.GlobalMsg) ([]sim.GlobalMsg, wire.RoundStats, error) {
+	w := r.workers[k]
+	req := wire.AppendFrame(nil, wire.Frame{
+		Type:    wire.FrameRound,
+		Round:   round,
+		Shard:   k,
+		Payload: wire.AppendMsgs(nil, out),
+	})
+	var lastErr error
+	for attempt := 0; attempt < r.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.opts.Backoff << (attempt - 1))
+		}
+		act := r.opts.Faults.onSend(k, round)
+		if act.delay > 0 {
+			time.Sleep(act.delay)
+		}
+		if act.kill {
+			w.kill()
+		}
+		if !act.drop {
+			if _, err := w.conn.Write(req); err != nil {
+				lastErr = err
+				var rerr error
+				if w, rerr = r.respawn(k); rerr != nil {
+					return nil, wire.RoundStats{}, rerr
+				}
+				continue
+			}
+		}
+		f, err := r.awaitReply(w, round)
+		if err == nil {
+			msgs, st, derr := wire.DecodeReply(f.Payload)
+			if derr != nil {
+				return nil, wire.RoundStats{}, fmt.Errorf("dist: worker %d round %d reply: %w", k, round, derr)
+			}
+			return msgs, st, nil
+		}
+		lastErr = err
+		if isTimeout(err) {
+			// Dropped or late: resend the identical frame. A late reply
+			// that does arrive later is skipped as stale by awaitReply.
+			continue
+		}
+		var perr *protocolError
+		if errors.As(err, &perr) {
+			return nil, wire.RoundStats{}, err
+		}
+		// Connection-level failure (EOF from a killed worker, reset,
+		// desynced stream): replace the process and replay the round.
+		var rerr error
+		if w, rerr = r.respawn(k); rerr != nil {
+			return nil, wire.RoundStats{}, rerr
+		}
+	}
+	return nil, wire.RoundStats{}, fmt.Errorf("dist: worker %d: round %d failed after %d attempts: %w",
+		k, round, r.opts.Retries, lastErr)
+}
+
+// protocolError marks worker-reported or structural protocol failures
+// that retrying cannot fix.
+type protocolError struct{ msg string }
+
+func (e *protocolError) Error() string { return e.msg }
+
+// awaitReply reads frames until the reply for round arrives or the
+// attempt deadline passes. Heartbeats are recorded and skipped — they
+// deliberately do NOT extend the deadline, otherwise a lost request to a
+// healthy (still-beating) worker would never time out. Stale replies to
+// earlier rounds (a retransmit raced a late reply) are skipped too.
+func (r *Router) awaitReply(w *worker, round int) (wire.Frame, error) {
+	deadline := time.Now().Add(r.opts.FrameTimeout)
+	w.conn.SetReadDeadline(deadline)
+	defer w.conn.SetReadDeadline(time.Time{})
+	for {
+		before := w.cr.n
+		f, err := wire.ReadFrame(w.cr)
+		if err != nil {
+			if isTimeout(err) && w.cr.n != before {
+				// The deadline fired mid-frame: the stream is desynced,
+				// so resending would misparse. Report a non-timeout
+				// error to force the respawn path.
+				return wire.Frame{}, fmt.Errorf("dist: worker %d: reply timed out mid-frame", w.shard)
+			}
+			return wire.Frame{}, err
+		}
+		switch f.Type {
+		case wire.FrameHeartbeat:
+			w.lastBeat.Store(time.Now().UnixNano())
+		case wire.FrameRoundReply:
+			if f.Round < round {
+				continue // stale duplicate from a resend race
+			}
+			if f.Round != round {
+				return wire.Frame{}, &protocolError{fmt.Sprintf(
+					"dist: worker %d replied for round %d, want %d", w.shard, f.Round, round)}
+			}
+			return f, nil
+		case wire.FrameError:
+			return wire.Frame{}, &protocolError{fmt.Sprintf(
+				"dist: worker %d reported: %s", w.shard, f.Payload)}
+		default:
+			return wire.Frame{}, &protocolError{fmt.Sprintf(
+				"dist: unexpected %v frame from worker %d", f.Type, w.shard)}
+		}
+	}
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Close shuts the worker fleet down: polite Shutdown frames, then a
+// bounded wait, then force-kill. Idempotent.
+func (r *Router) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	for _, w := range r.workers {
+		if w == nil || w.conn == nil {
+			continue
+		}
+		w.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		w.conn.Write(wire.AppendFrame(nil, wire.Frame{Type: wire.FrameShutdown, Shard: w.shard}))
+		w.conn.Close()
+	}
+	for _, w := range r.workers {
+		if w == nil || w.cmd == nil {
+			continue
+		}
+		select {
+		case <-w.waitCh:
+		case <-time.After(shutdownGrace):
+			w.cmd.Process.Kill()
+			<-w.waitCh
+		}
+	}
+	r.acceptMu.Lock()
+	for shard, c := range r.pending {
+		c.Close()
+		delete(r.pending, shard)
+	}
+	r.acceptMu.Unlock()
+	r.ln.close()
+	return nil
+}

@@ -1,0 +1,411 @@
+package dist
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist/wire"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// chatter is the same deliberately messy differential workload the sim
+// package uses: random local and global traffic, uneven finishing times,
+// and an accumulator sensitive to inbox order and content.
+func chatter(out []int64) sim.Program {
+	return func(env *sim.Env) {
+		rounds := 6 + env.ID()%5
+		acc := int64(env.ID())
+		for r := 0; r < rounds; r++ {
+			for _, nb := range env.Neighbors() {
+				if env.Rand().Intn(2) == 0 {
+					env.SendLocal(nb.To, int64(env.ID()*1000+r))
+				}
+			}
+			sends := env.Rand().Intn(env.GlobalCap() + 1)
+			for s := 0; s < sends; s++ {
+				env.SendGlobal(env.Rand().Intn(env.N()), sim.Kind(r), int64(env.ID()), int64(r), int64(s), 7)
+			}
+			in := env.Step()
+			for _, lm := range in.Local {
+				acc = acc*31 + int64(lm.From)
+				if v, ok := lm.Payload.(int64); ok {
+					acc = acc*31 + v
+				}
+			}
+			for _, gm := range in.Global {
+				acc = acc*31 + int64(gm.Src)*8191 + gm.F1*13 + gm.F2
+			}
+		}
+		out[env.ID()] = acc
+	}
+}
+
+func runChatter(t *testing.T, g *graph.Graph, cfg sim.Config) ([]int64, sim.Metrics) {
+	t.Helper()
+	out := make([]int64, g.N())
+	m, err := sim.Run(g, cfg, chatter(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, m
+}
+
+// TestDistEngineMatchesLegacy is the dist differential: for several
+// topologies, seeds, and worker counts, EngineDist must produce
+// byte-identical per-node results and Metrics to the legacy oracle.
+func TestDistEngineMatchesLegacy(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid": graph.Grid(6, 7),
+		"path": graph.Path(33),
+	}
+	for name, g := range graphs {
+		for seed := int64(1); seed <= 2; seed++ {
+			wantOut, wantM := runChatter(t, g, sim.Config{Seed: seed, Engine: sim.EngineLegacy})
+			for _, workers := range []int{1, 2, 3} {
+				out, m := runChatter(t, g, sim.Config{Seed: seed, Engine: sim.EngineDist, DistWorkers: workers})
+				if !reflect.DeepEqual(wantOut, out) {
+					t.Fatalf("%s seed %d workers %d: results differ from legacy", name, seed, workers)
+				}
+				if wantM != m {
+					t.Fatalf("%s seed %d workers %d: metrics differ:\nlegacy %+v\ndist   %+v", name, seed, workers, wantM, m)
+				}
+			}
+		}
+	}
+}
+
+// TestDistFrameTimeoutRetry injects dropped request frames and asserts
+// the bounded retry path recovers: the run succeeds, stays byte-identical
+// to the clean run, and the plan accounts for every drop.
+func TestDistFrameTimeoutRetry(t *testing.T) {
+	g := graph.Grid(5, 6)
+	wantOut, wantM := runChatter(t, g, sim.Config{Seed: 9, Engine: sim.EngineLegacy})
+
+	faults := NewFaults().DropFrames(1, 3, 2).DropFrames(0, 5, 1)
+	opts := &Options{Faults: faults, FrameTimeout: 100 * time.Millisecond, Retries: 5}
+	out, m := runChatter(t, g, sim.Config{
+		Seed: 9, Engine: sim.EngineDist, DistWorkers: 2, DistOpts: opts,
+	})
+	if !reflect.DeepEqual(wantOut, out) {
+		t.Fatal("results differ from clean legacy run after injected drops")
+	}
+	if wantM != m {
+		t.Fatalf("metrics differ after injected drops:\nlegacy %+v\ndist   %+v", wantM, m)
+	}
+	st := faults.Stats()
+	if st.Dropped != 3 {
+		t.Fatalf("injected %d drops, want 3", st.Dropped)
+	}
+	if st.Killed != 0 || st.Respawns != 0 {
+		t.Fatalf("drop-only plan reports kills/respawns: %+v", st)
+	}
+}
+
+// TestDistRetryExhaustion drops more frames than the retry budget allows
+// and asserts the run aborts with the bounded-attempts error rather than
+// hanging.
+func TestDistRetryExhaustion(t *testing.T) {
+	g := graph.Path(12)
+	faults := NewFaults().DropFrames(0, 2, 10)
+	opts := &Options{Faults: faults, FrameTimeout: 50 * time.Millisecond, Retries: 3}
+	out := make([]int64, g.N())
+	_, err := sim.Run(g, sim.Config{
+		Seed: 3, Engine: sim.EngineDist, DistWorkers: 1, DistOpts: opts,
+	}, chatter(out))
+	if err == nil {
+		t.Fatal("want retry-exhaustion error, got success")
+	}
+	if !strings.Contains(err.Error(), "failed after 3 attempts") {
+		t.Fatalf("err = %v, want bounded-attempts failure", err)
+	}
+}
+
+// TestDistKillRespawnReplay kills a worker mid-run and asserts the
+// respawned worker replays the round byte-identically: same results, same
+// Metrics as the fault-free run.
+func TestDistKillRespawnReplay(t *testing.T) {
+	g := graph.Grid(5, 6)
+	wantOut, wantM := runChatter(t, g, sim.Config{Seed: 17, Engine: sim.EngineLegacy})
+
+	faults := NewFaults().KillWorker(1, 4)
+	out, m := runChatter(t, g, sim.Config{
+		Seed: 17, Engine: sim.EngineDist, DistWorkers: 2, DistOpts: WithFaults(faults),
+	})
+	if !reflect.DeepEqual(wantOut, out) {
+		t.Fatal("results differ from clean run after worker kill")
+	}
+	if wantM != m {
+		t.Fatalf("metrics differ after worker kill:\nclean %+v\nkill  %+v", wantM, m)
+	}
+	st := faults.Stats()
+	if st.Killed != 1 {
+		t.Fatalf("killed %d workers, want 1", st.Killed)
+	}
+	if st.Respawns < 1 {
+		t.Fatalf("respawns = %d, want >= 1", st.Respawns)
+	}
+}
+
+// TestDistTCPTransport runs the differential over TCP instead of unix
+// sockets: the protocol is transport-agnostic.
+func TestDistTCPTransport(t *testing.T) {
+	g := graph.Grid(4, 5)
+	wantOut, wantM := runChatter(t, g, sim.Config{Seed: 5, Engine: sim.EngineLegacy})
+	out, m := runChatter(t, g, sim.Config{
+		Seed: 5, Engine: sim.EngineDist, DistWorkers: 2, DistOpts: &Options{Transport: "tcp"},
+	})
+	if !reflect.DeepEqual(wantOut, out) {
+		t.Fatal("tcp transport results differ from legacy")
+	}
+	if wantM != m {
+		t.Fatalf("tcp transport metrics differ:\nlegacy %+v\ndist   %+v", wantM, m)
+	}
+}
+
+// TestDistStrictRecvViolation: the distributed engine must detect strict
+// receive-cap violations with the exact same error as the in-process
+// engines (lowest violating node wins, same message text).
+func TestDistStrictRecvViolation(t *testing.T) {
+	g := graph.Path(24)
+	flood := func(env *sim.Env) {
+		if env.ID() != 5 && env.ID() != 20 {
+			env.SendGlobal(5, 0, 0, 0, 0, 0)
+			env.SendGlobal(20, 0, 0, 0, 0, 0)
+		}
+		env.Step()
+	}
+	_, stepErr := sim.Run(g, sim.Config{StrictRecvFactor: 1, Engine: sim.EngineStep}, flood)
+	_, distErr := sim.Run(g, sim.Config{StrictRecvFactor: 1, Engine: sim.EngineDist, DistWorkers: 3}, flood)
+	if stepErr == nil || distErr == nil {
+		t.Fatalf("want violations from both engines, got step=%v dist=%v", stepErr, distErr)
+	}
+	if stepErr.Error() != distErr.Error() {
+		t.Fatalf("violation errors differ:\nstep %v\ndist %v", stepErr, distErr)
+	}
+}
+
+// TestRouterHeartbeatAndPing drives a Router directly: workers beat on
+// their own, Ping round-trips, and an empty round routes cleanly.
+func TestRouterHeartbeatAndPing(t *testing.T) {
+	r, err := New(sim.DistRouterConfig{
+		N: 8, LogN: 3, Workers: 2, ShardSize: 4,
+		Opts: &Options{HeartbeatEvery: 20 * time.Millisecond, FrameTimeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for k := 0; k < 2; k++ {
+		if err := r.Ping(k); err != nil {
+			t.Fatalf("ping worker %d: %v", k, err)
+		}
+		if r.LastHeartbeat(k).IsZero() {
+			t.Fatalf("worker %d: no heartbeat recorded after ping", k)
+		}
+	}
+	streams, stats, err := r.RouteRound(1, [][]sim.GlobalMsg{nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GlobalMsgs != 0 || len(streams) != 2 || len(streams[0]) != 0 || len(streams[1]) != 0 {
+		t.Fatalf("empty round returned %+v / %+v", streams, stats)
+	}
+	// The unsolicited beat must eventually advance the liveness clock
+	// even without traffic: wait for a fresh beat via Ping.
+	time.Sleep(50 * time.Millisecond)
+	if err := r.Ping(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Respawns() != 0 {
+		t.Fatalf("respawns = %d, want 0", r.Respawns())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.RouteRound(2, [][]sim.GlobalMsg{nil, nil}); err == nil {
+		t.Fatal("RouteRound after Close must fail")
+	}
+}
+
+// serveConnPair starts the production worker loop over an in-process
+// pipe, where coverage and the race detector can see it.
+func serveConnPair(t *testing.T) (client net.Conn, done chan error) {
+	t.Helper()
+	client, server := net.Pipe()
+	done = make(chan error, 1)
+	go func() { done <- ServeConn(server) }()
+	t.Cleanup(func() { client.Close() })
+	return client, done
+}
+
+func sendFrame(t *testing.T, c net.Conn, f wire.Frame) {
+	t.Helper()
+	if _, err := c.Write(wire.AppendFrame(nil, f)); err != nil {
+		t.Fatalf("write %v frame: %v", f.Type, err)
+	}
+}
+
+func readFrame(t *testing.T, c net.Conn) wire.Frame {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := wire.ReadFrame(c)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+// TestServeConnProtocol walks the worker loop through the full protocol:
+// hello/ack, a round with out-of-order traffic, a duplicate-round
+// retransmit answered from the reply cache, ping/pong, shutdown.
+func TestServeConnProtocol(t *testing.T) {
+	client, done := serveConnPair(t)
+	hello := wire.Hello{
+		Proto: wire.ProtoVersion, N: 8, LogN: 3, Shard: 1, Lo: 4, Hi: 8,
+		StrictRecvFactor: 0, HeartbeatMillis: 0,
+	}
+	sendFrame(t, client, wire.Frame{Type: wire.FrameHello, Shard: 1, Payload: wire.AppendHello(nil, hello)})
+	ack := readFrame(t, client)
+	if ack.Type != wire.FrameHelloAck {
+		t.Fatalf("got %v, want hello ack", ack.Type)
+	}
+
+	msgs := []sim.GlobalMsg{
+		{Src: 0, Dst: 7, Kind: 1, F0: 10},
+		{Src: 0, Dst: 4, Kind: 1, F0: 11},
+		{Src: 2, Dst: 7, Kind: 2, F0: 12},
+		{Src: 3, Dst: 4, Kind: 3, F0: 13},
+	}
+	req := wire.Frame{Type: wire.FrameRound, Round: 1, Shard: 1, Payload: wire.AppendMsgs(nil, msgs)}
+	sendFrame(t, client, req)
+	reply := readFrame(t, client)
+	if reply.Type != wire.FrameRoundReply || reply.Round != 1 {
+		t.Fatalf("got %v round %d, want round reply 1", reply.Type, reply.Round)
+	}
+	sorted, stats, err := wire.DecodeReply(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []sim.GlobalMsg{
+		{Src: 0, Dst: 4, Kind: 1, F0: 11},
+		{Src: 3, Dst: 4, Kind: 3, F0: 13},
+		{Src: 0, Dst: 7, Kind: 1, F0: 10},
+		{Src: 2, Dst: 7, Kind: 2, F0: 12},
+	}
+	if !reflect.DeepEqual(sorted, wantOrder) {
+		t.Fatalf("delivery order = %+v, want %+v", sorted, wantOrder)
+	}
+	if stats.Msgs != 4 || stats.MaxRecv != 2 || stats.ViolDst != -1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// A retransmit of the same round must come back byte-identical from
+	// the cache.
+	sendFrame(t, client, req)
+	again := readFrame(t, client)
+	if !reflect.DeepEqual(again, reply) {
+		t.Fatalf("cached retransmit reply differs: %+v vs %+v", again, reply)
+	}
+
+	sendFrame(t, client, wire.Frame{Type: wire.FrameHeartbeat, Shard: 1})
+	if pong := readFrame(t, client); pong.Type != wire.FrameHeartbeat {
+		t.Fatalf("ping answered with %v", pong.Type)
+	}
+
+	sendFrame(t, client, wire.Frame{Type: wire.FrameShutdown, Shard: 1})
+	if err := <-done; err != nil {
+		t.Fatalf("ServeConn returned %v after shutdown", err)
+	}
+}
+
+// TestServeConnErrors exercises the worker loop's refusal paths: a round
+// before hello, a corrupt batch, an out-of-range destination, and a
+// protocol-version mismatch.
+func TestServeConnErrors(t *testing.T) {
+	t.Run("round before hello", func(t *testing.T) {
+		client, _ := serveConnPair(t)
+		sendFrame(t, client, wire.Frame{Type: wire.FrameRound, Round: 1, Payload: wire.AppendMsgs(nil, nil)})
+		f := readFrame(t, client)
+		if f.Type != wire.FrameError || !strings.Contains(string(f.Payload), "before hello") {
+			t.Fatalf("got %v %q", f.Type, f.Payload)
+		}
+	})
+	t.Run("corrupt batch", func(t *testing.T) {
+		client, _ := serveConnPair(t)
+		hello := wire.Hello{Proto: wire.ProtoVersion, N: 8, LogN: 3, Shard: 0, Lo: 0, Hi: 8}
+		sendFrame(t, client, wire.Frame{Type: wire.FrameHello, Payload: wire.AppendHello(nil, hello)})
+		readFrame(t, client) // ack
+		sendFrame(t, client, wire.Frame{Type: wire.FrameRound, Round: 1, Payload: []byte{0xff, 0xff}})
+		f := readFrame(t, client)
+		if f.Type != wire.FrameError {
+			t.Fatalf("corrupt batch answered with %v", f.Type)
+		}
+	})
+	t.Run("destination outside shard", func(t *testing.T) {
+		client, _ := serveConnPair(t)
+		hello := wire.Hello{Proto: wire.ProtoVersion, N: 8, LogN: 3, Shard: 0, Lo: 0, Hi: 4}
+		sendFrame(t, client, wire.Frame{Type: wire.FrameHello, Payload: wire.AppendHello(nil, hello)})
+		readFrame(t, client) // ack
+		bad := wire.AppendMsgs(nil, []sim.GlobalMsg{{Src: 0, Dst: 6}})
+		sendFrame(t, client, wire.Frame{Type: wire.FrameRound, Round: 1, Payload: bad})
+		f := readFrame(t, client)
+		if f.Type != wire.FrameError || !strings.Contains(string(f.Payload), "outside shard range") {
+			t.Fatalf("got %v %q", f.Type, f.Payload)
+		}
+	})
+	t.Run("proto mismatch", func(t *testing.T) {
+		client, done := serveConnPair(t)
+		hello := wire.Hello{Proto: wire.ProtoVersion + 1, N: 8, LogN: 3, Shard: 0, Lo: 0, Hi: 8}
+		sendFrame(t, client, wire.Frame{Type: wire.FrameHello, Payload: wire.AppendHello(nil, hello)})
+		f := readFrame(t, client)
+		if f.Type != wire.FrameError {
+			t.Fatalf("version mismatch answered with %v", f.Type)
+		}
+		if err := <-done; err == nil {
+			t.Fatal("ServeConn must fail on protocol mismatch")
+		}
+	})
+}
+
+// TestProcessRoundCutAccounting: cut-crossing global messages are counted
+// worker-side exactly as runShard counts them.
+func TestProcessRoundCutAccounting(t *testing.T) {
+	cut := []bool{true, true, false, false}
+	st := &workerState{shard: 0, lo: 0, hi: 4, logN: 2, cut: cut, counts: make([]int, 4)}
+	msgs := []sim.GlobalMsg{
+		{Src: 0, Dst: 2}, // crosses
+		{Src: 0, Dst: 1}, // same side
+		{Src: 3, Dst: 1}, // crosses
+	}
+	_, stats, err := st.processRound(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CutMsgs != 2 {
+		t.Fatalf("cut msgs = %d, want 2", stats.CutMsgs)
+	}
+}
+
+// TestResolveOptions pins the defaults and the accepted DistOpts types.
+func TestResolveOptions(t *testing.T) {
+	o, err := resolveOptions(nil)
+	if err != nil || o.FrameTimeout != defaultFrameTimeout || o.Retries != defaultRetries {
+		t.Fatalf("nil opts resolved to %+v, %v", o, err)
+	}
+	f := NewFaults()
+	o, err = resolveOptions(f)
+	if err != nil || o.Faults != f {
+		t.Fatalf("*Faults opts resolved to %+v, %v", o, err)
+	}
+	if _, err := resolveOptions(42); err == nil {
+		t.Fatal("want error for unsupported DistOpts type")
+	}
+	o, err = resolveOptions(&Options{HeartbeatEvery: -1})
+	if err != nil || o.HeartbeatEvery != -1 {
+		t.Fatalf("negative heartbeat must survive resolution, got %+v, %v", o, err)
+	}
+}

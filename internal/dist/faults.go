@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// Fault injection: a Faults plan is consulted by the coordinator at every
+// request-send attempt, so tests can drop a frame (the reply wait times
+// out and the bounded retry path resends), delay a frame, or kill a
+// worker process at a chosen round (the connection error triggers the
+// respawn + replay path). The plan is mutex-protected because RouteRound
+// sends to the shards from parallel goroutines.
+
+type faultKind int
+
+const (
+	faultDrop faultKind = iota
+	faultDelay
+	faultKill
+)
+
+type faultRule struct {
+	kind      faultKind
+	shard     int
+	round     int
+	remaining int
+	delay     time.Duration
+}
+
+// Faults is a scripted fault plan. The zero value (and a nil *Faults)
+// injects nothing. Builders are chainable:
+//
+//	dist.NewFaults().DropFrames(1, 3, 2).KillWorker(0, 7)
+type Faults struct {
+	mu       sync.Mutex
+	rules    []faultRule
+	dropped  int
+	delayed  int
+	killed   int
+	respawns int
+}
+
+// FaultStats reports what a plan actually injected (and, for Respawns,
+// what the coordinator did about it).
+type FaultStats struct {
+	Dropped  int
+	Delayed  int
+	Killed   int
+	Respawns int
+}
+
+// NewFaults returns an empty plan.
+func NewFaults() *Faults { return &Faults{} }
+
+// DropFrames suppresses the next count request frames sent to shard at
+// the given round: the coordinator skips the write, so its reply wait
+// times out and the retry path kicks in.
+func (f *Faults) DropFrames(shard, round, count int) *Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, faultRule{kind: faultDrop, shard: shard, round: round, remaining: count})
+	return f
+}
+
+// DelayFrame sleeps d before the next request frame sent to shard at the
+// given round.
+func (f *Faults) DelayFrame(shard, round int, d time.Duration) *Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, faultRule{kind: faultDelay, shard: shard, round: round, remaining: 1, delay: d})
+	return f
+}
+
+// KillWorker kills shard's worker process immediately before the request
+// for the given round is sent, exercising the respawn + replay path.
+func (f *Faults) KillWorker(shard, round int) *Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, faultRule{kind: faultKill, shard: shard, round: round, remaining: 1})
+	return f
+}
+
+// Stats snapshots what has been injected so far.
+func (f *Faults) Stats() FaultStats {
+	if f == nil {
+		return FaultStats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FaultStats{Dropped: f.dropped, Delayed: f.delayed, Killed: f.killed, Respawns: f.respawns}
+}
+
+// faultAction is what one send attempt must suffer.
+type faultAction struct {
+	drop  bool
+	kill  bool
+	delay time.Duration
+}
+
+// onSend consumes the rules matching one (shard, round) send attempt.
+// Safe on a nil plan.
+func (f *Faults) onSend(shard, round int) faultAction {
+	if f == nil {
+		return faultAction{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var act faultAction
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.remaining == 0 || r.shard != shard || r.round != round {
+			continue
+		}
+		r.remaining--
+		switch r.kind {
+		case faultDrop:
+			act.drop = true
+			f.dropped++
+		case faultDelay:
+			act.delay += r.delay
+			f.delayed++
+		case faultKill:
+			act.kill = true
+			f.killed++
+		}
+	}
+	return act
+}
+
+// noteRespawn records that the coordinator respawned a worker. Safe on a
+// nil plan (respawns without an active fault plan are simply not counted).
+func (f *Faults) noteRespawn() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.respawns++
+	f.mu.Unlock()
+}

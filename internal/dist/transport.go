@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Transport abstraction: the coordinator listens, workers dial. Addresses
+// are scheme-prefixed strings ("unix:/path/sock", "tcp:127.0.0.1:4242")
+// so they survive a trip through a child process's environment. Unix
+// sockets are the default (same-box workers); TCP exists so the same
+// protocol can cross machines later and is exercised by tests today.
+
+const dialTimeout = 5 * time.Second
+
+// listener wraps a net.Listener with its dialable address and any
+// on-disk state to clean up.
+type listener struct {
+	ln   net.Listener
+	addr string
+	dir  string // unix socket directory, "" for tcp
+}
+
+// newListener opens the coordinator's accept socket for the named
+// transport ("unix", "" for the default, or "tcp").
+func newListener(transport string) (*listener, error) {
+	switch transport {
+	case "", "unix":
+		// A fresh short directory keeps the socket path well under the
+		// sun_path length limit regardless of TMPDIR.
+		dir, err := os.MkdirTemp("", "hybriddist")
+		if err != nil {
+			return nil, fmt.Errorf("dist: socket dir: %w", err)
+		}
+		path := filepath.Join(dir, "coord.sock")
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("dist: listen unix: %w", err)
+		}
+		return &listener{ln: ln, addr: "unix:" + path, dir: dir}, nil
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("dist: listen tcp: %w", err)
+		}
+		return &listener{ln: ln, addr: "tcp:" + ln.Addr().String()}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown transport %q (want unix or tcp)", transport)
+	}
+}
+
+// close shuts the socket and removes any socket directory.
+func (l *listener) close() {
+	if l.ln != nil {
+		l.ln.Close()
+	}
+	if l.dir != "" {
+		os.RemoveAll(l.dir)
+	}
+}
+
+// dialAddr connects a worker to a scheme-prefixed coordinator address.
+func dialAddr(addr string) (net.Conn, error) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return net.DialTimeout("unix", strings.TrimPrefix(addr, "unix:"), dialTimeout)
+	case strings.HasPrefix(addr, "tcp:"):
+		return net.DialTimeout("tcp", strings.TrimPrefix(addr, "tcp:"), dialTimeout)
+	default:
+		return nil, fmt.Errorf("dist: address %q has no transport prefix", addr)
+	}
+}

@@ -1,0 +1,279 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dist/wire"
+	"repro/internal/sim"
+)
+
+// The worker side of the distributed engine. A worker process serves one
+// shard: each round it receives the shard's staged global messages (in
+// sender order), counting-sorts them into delivery order (per
+// destination: ascending sender ID, then send order — stable sort by
+// destination preserves exactly that), computes the shard's receive
+// accounting, and sends the sorted stream back. The worker is a pure
+// function of (Hello, round batch) plus a one-reply cache, which is what
+// makes kill/respawn/replay byte-identical: a respawned worker replays
+// the round from the retransmitted request and necessarily produces the
+// same bytes, and a duplicate request (retransmit after a lost reply) is
+// answered from the cache without recomputation.
+//
+// Workers are not a separate binary: spawnWorker re-execs the *current*
+// executable with HYBRID_DIST_ADDR/HYBRID_DIST_SHARD set, and the init
+// hook below hijacks any such process before main (or TestMain) runs. A
+// dedicated binary exists anyway (cmd/hybridworker) for running workers
+// by hand.
+
+// Environment variables of the re-exec handshake.
+const (
+	envAddr  = "HYBRID_DIST_ADDR"
+	envShard = "HYBRID_DIST_SHARD"
+	// EnvWorkerBin overrides the executable spawned for workers (defaults
+	// to the coordinator's own binary).
+	EnvWorkerBin = "HYBRID_DIST_WORKER_BIN"
+)
+
+func init() {
+	addr := os.Getenv(envAddr)
+	if addr == "" {
+		return
+	}
+	shard, err := strconv.Atoi(os.Getenv(envShard))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybrid dist worker: bad %s: %v\n", envShard, err)
+		os.Exit(2)
+	}
+	if err := RunWorker(addr, shard); err != nil {
+		fmt.Fprintf(os.Stderr, "hybrid dist worker %d: %v\n", shard, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunWorker dials the coordinator, announces which shard this process
+// serves, and serves rounds until shutdown or connection loss.
+func RunWorker(addr string, shard int) error {
+	if shard < 0 {
+		return fmt.Errorf("dist: negative shard %d", shard)
+	}
+	conn, err := dialAddr(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	join := wire.AppendFrame(nil, wire.Frame{
+		Type:    wire.FrameJoin,
+		Shard:   shard,
+		Payload: wire.AppendHandshake(nil, shard),
+	})
+	if _, err := conn.Write(join); err != nil {
+		return fmt.Errorf("dist: sending join: %w", err)
+	}
+	return ServeConn(conn)
+}
+
+// workerState is the per-connection round-serving state, configured by
+// the Hello frame.
+type workerState struct {
+	shard  int
+	lo, hi int
+	logN   int
+	strict int
+	cut    []bool
+
+	counts    []int // per-node receive counts, indexed by Dst-lo
+	lastRound int
+	lastReply []byte // encoded frame bytes of the last reply, for retransmits
+}
+
+// ServeConn runs the worker protocol loop over one coordinator
+// connection until a Shutdown frame, EOF, or an unrecoverable error. It
+// is exported so tests can drive the exact production loop in-process
+// (over net.Pipe), where coverage and the race detector see it.
+func ServeConn(conn net.Conn) error {
+	var (
+		writeMu  sync.Mutex
+		st       *workerState
+		beatStop chan struct{}
+		beatOnce bool
+	)
+	send := func(f wire.Frame) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_, err := conn.Write(wire.AppendFrame(nil, f))
+		return err
+	}
+	sendRaw := func(b []byte) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_, err := conn.Write(b)
+		return err
+	}
+	defer func() {
+		if beatStop != nil {
+			close(beatStop)
+		}
+	}()
+
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case wire.FrameHello:
+			h, err := wire.DecodeHello(f.Payload)
+			if err != nil {
+				return err
+			}
+			if h.Proto != wire.ProtoVersion {
+				send(wire.Frame{Type: wire.FrameError,
+					Payload: []byte(fmt.Sprintf("protocol version %d, worker speaks %d", h.Proto, wire.ProtoVersion))})
+				return fmt.Errorf("dist: protocol version mismatch: coordinator %d, worker %d", h.Proto, wire.ProtoVersion)
+			}
+			st = &workerState{
+				shard: h.Shard, lo: h.Lo, hi: h.Hi, logN: h.LogN,
+				strict: h.StrictRecvFactor, cut: h.Cut,
+				counts: make([]int, h.Hi-h.Lo),
+			}
+			if err := send(wire.Frame{Type: wire.FrameHelloAck, Shard: h.Shard,
+				Payload: wire.AppendHandshake(nil, h.Shard)}); err != nil {
+				return err
+			}
+			if h.HeartbeatMillis > 0 && !beatOnce {
+				beatOnce = true
+				beatStop = make(chan struct{})
+				go heartbeatLoop(send, h.Shard, time.Duration(h.HeartbeatMillis)*time.Millisecond, beatStop)
+			}
+		case wire.FrameRound:
+			if st == nil {
+				if err := send(wire.Frame{Type: wire.FrameError,
+					Payload: []byte("round before hello")}); err != nil {
+					return err
+				}
+				continue
+			}
+			if f.Round == st.lastRound && st.lastReply != nil {
+				// Duplicate of the round just served: the coordinator's
+				// retry path resent after a lost or late reply. Answer
+				// from the cache — recomputing would be byte-identical,
+				// resending is cheaper.
+				if err := sendRaw(st.lastReply); err != nil {
+					return err
+				}
+				continue
+			}
+			msgs, err := wire.DecodeMsgs(f.Payload)
+			if err != nil {
+				if serr := send(wire.Frame{Type: wire.FrameError,
+					Payload: []byte(fmt.Sprintf("round %d: %v", f.Round, err))}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			sorted, stats, err := st.processRound(msgs)
+			if err != nil {
+				if serr := send(wire.Frame{Type: wire.FrameError,
+					Payload: []byte(fmt.Sprintf("round %d: %v", f.Round, err))}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			reply := wire.AppendFrame(nil, wire.Frame{
+				Type:    wire.FrameRoundReply,
+				Round:   f.Round,
+				Shard:   st.shard,
+				Payload: wire.AppendReply(nil, sorted, stats),
+			})
+			st.lastRound = f.Round
+			st.lastReply = reply
+			if err := sendRaw(reply); err != nil {
+				return err
+			}
+		case wire.FrameHeartbeat:
+			// Coordinator ping: echo one back.
+			if err := send(wire.Frame{Type: wire.FrameHeartbeat, Shard: f.Shard}); err != nil {
+				return err
+			}
+		case wire.FrameShutdown:
+			return nil
+		default:
+			return fmt.Errorf("dist: worker received unexpected %v frame", f.Type)
+		}
+	}
+}
+
+// heartbeatLoop emits unsolicited liveness beacons until stopped or the
+// connection dies.
+func heartbeatLoop(send func(wire.Frame) error, shard int, every time.Duration, stop chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if send(wire.Frame{Type: wire.FrameHeartbeat, Shard: shard}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// processRound sorts one round's batch into delivery order and computes
+// the shard's receive accounting (mirroring runShard's tallies).
+func (st *workerState) processRound(msgs []sim.GlobalMsg) ([]sim.GlobalMsg, wire.RoundStats, error) {
+	for i := range st.counts {
+		st.counts[i] = 0
+	}
+	stats := wire.RoundStats{Msgs: int64(len(msgs)), ViolDst: -1}
+	for _, m := range msgs {
+		if m.Dst < st.lo || m.Dst >= st.hi {
+			return nil, wire.RoundStats{}, fmt.Errorf("message for node %d outside shard range [%d,%d)", m.Dst, st.lo, st.hi)
+		}
+		st.counts[m.Dst-st.lo]++
+		if st.cut != nil {
+			if m.Src < 0 || m.Src >= len(st.cut) {
+				return nil, wire.RoundStats{}, fmt.Errorf("message from node %d outside graph of %d nodes", m.Src, len(st.cut))
+			}
+			if st.cut[m.Src] != st.cut[m.Dst] {
+				stats.CutMsgs++
+			}
+		}
+	}
+	// Stable sort by destination: within a destination the request order
+	// (ascending sender, then send order) survives, which is exactly the
+	// engine's inbox contract.
+	sorted := make([]sim.GlobalMsg, len(msgs))
+	copy(sorted, msgs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Dst < sorted[j].Dst })
+
+	if len(msgs) > 0 {
+		for d := range st.counts {
+			c := st.counts[d]
+			if c == 0 {
+				continue
+			}
+			if int64(c) > stats.MaxRecv {
+				stats.MaxRecv = int64(c)
+			}
+			if st.strict > 0 && c > st.strict*st.logN && stats.ViolDst < 0 {
+				stats.ViolDst = int64(st.lo + d)
+				stats.ViolCount = int64(c)
+			}
+		}
+	}
+	return sorted, stats, nil
+}

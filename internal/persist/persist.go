@@ -182,18 +182,35 @@ type Info struct {
 // version and sizes. It validates the magic and the recorded length, but
 // not the checksum (the point is cheap diagnostics, not admission); a
 // missing file returns the fs error, a non-cache file ErrCorrupt.
+//
+// Only the 24-byte header is ever read: the payload length claimed by the
+// header is checked against the file's stat size, never used to size a
+// read, so a malformed file claiming a multi-exabyte payload costs 24
+// bytes of I/O and no allocation.
 func Probe(path string) (Info, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return Info{}, err
 	}
-	if len(data) < headerLen || !bytes.Equal(data[0:4], magic[:]) {
+	defer f.Close()
+	var header [headerLen]byte
+	if _, err := io.ReadFull(f, header[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Info{}, fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
+		}
+		return Info{}, err
+	}
+	if !bytes.Equal(header[0:4], magic[:]) {
 		return Info{}, fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
 	}
+	st, err := f.Stat()
+	if err != nil {
+		return Info{}, err
+	}
 	info := Info{
-		Version:      binary.LittleEndian.Uint32(data[4:8]),
-		PayloadBytes: int64(binary.LittleEndian.Uint64(data[8:16])),
-		FileBytes:    int64(len(data)),
+		Version:      binary.LittleEndian.Uint32(header[4:8]),
+		PayloadBytes: int64(binary.LittleEndian.Uint64(header[8:16])),
+		FileBytes:    st.Size(),
 	}
 	if info.PayloadBytes != info.FileBytes-headerLen {
 		return Info{}, fmt.Errorf("%w: %s: payload is %d bytes, header says %d",

@@ -200,6 +200,41 @@ func TestProbeErrors(t *testing.T) {
 	if _, err := Probe(junk); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("junk file: got %v, want ErrCorrupt", err)
 	}
+
+	// A header claiming an absurd payload length must be rejected from the
+	// 24-byte header alone — checked against the stat size, never used to
+	// size a read or allocation.
+	huge := filepath.Join(dir, "huge.hybc")
+	header := make([]byte, 24)
+	copy(header, "HYWC")
+	binary.LittleEndian.PutUint32(header[4:8], 2)
+	binary.LittleEndian.PutUint64(header[8:16], 1<<60) // claimed payload: 1 EiB
+	if err := os.WriteFile(huge, header, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Probe(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge claimed payload: got %v, want ErrCorrupt", err)
+	}
+
+	// Truncated header: shorter than the fixed 24-byte prefix.
+	short := filepath.Join(dir, "short.hybc")
+	if err := os.WriteFile(short, []byte("HYWC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Probe(short); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated header: got %v, want ErrCorrupt", err)
+	}
+
+	// Wrong magic with an otherwise plausible header.
+	wrong := filepath.Join(dir, "wrong.hybc")
+	bad := make([]byte, 24)
+	copy(bad, "NOPE")
+	if err := os.WriteFile(wrong, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Probe(wrong); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong magic: got %v, want ErrCorrupt", err)
+	}
 }
 
 // TestPackUnpackVectors pins the varint codecs: round trips, strictness of

@@ -16,9 +16,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,11 +84,26 @@ type Server struct {
 	tables atomic.Pointer[Tables]
 	start  time.Time
 
+	// rebuild recomputes a fresh Tables generation on demand (nil until
+	// SetRebuild); reloadMu serialises rebuilds so concurrent triggers
+	// cannot stack APSP runs, and reloads counts completed swaps.
+	rebuildMu sync.Mutex
+	rebuild   func() (*Tables, error)
+	reloadMu  sync.Mutex
+	reloads   atomic.Int64
+
 	distanceQueries atomic.Int64
 	routeQueries    atomic.Int64
 	unreachable     atomic.Int64
 	badRequests     atomic.Int64
 }
+
+// Reload errors. ErrNoRebuild means SetRebuild was never called;
+// ErrReloadBusy means another reload is still building.
+var (
+	ErrNoRebuild  = errors.New("serve: no rebuild function registered")
+	ErrReloadBusy = errors.New("serve: reload already in progress")
+)
 
 // New returns a Server serving t. A nil t starts the server in the
 // not-ready state: /healthz answers 503 and queries are refused until the
@@ -112,6 +129,44 @@ func (s *Server) Publish(t *Tables) {
 // Tables returns the current generation (nil before the first Publish).
 func (s *Server) Tables() *Tables { return s.tables.Load() }
 
+// SetRebuild registers the function Reload uses to compute a fresh
+// generation. The owner (cmd/hybridserve) typically closes over the graph
+// and engine configuration of the initial build so a reload recomputes
+// tables under the exact same parameters.
+func (s *Server) SetRebuild(f func() (*Tables, error)) {
+	s.rebuildMu.Lock()
+	s.rebuild = f
+	s.rebuildMu.Unlock()
+}
+
+// Reloads returns how many reloads have completed and swapped tables in.
+func (s *Server) Reloads() int64 { return s.reloads.Load() }
+
+// Reload recomputes the serving tables via the registered rebuild function
+// and publishes the result atomically. Queries keep being answered from
+// the old generation for the entire rebuild; only one reload runs at a
+// time (a concurrent trigger gets ErrReloadBusy rather than queueing, so
+// a signal storm cannot stack APSP runs).
+func (s *Server) Reload() (*Tables, error) {
+	s.rebuildMu.Lock()
+	rebuild := s.rebuild
+	s.rebuildMu.Unlock()
+	if rebuild == nil {
+		return nil, ErrNoRebuild
+	}
+	if !s.reloadMu.TryLock() {
+		return nil, ErrReloadBusy
+	}
+	defer s.reloadMu.Unlock()
+	t, err := rebuild()
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload: %w", err)
+	}
+	s.Publish(t)
+	s.reloads.Add(1)
+	return t, nil
+}
+
 // Handler returns the HTTP API:
 //
 //	GET /distance?s=<node>&t=<node>  exact distance (or unreachable)
@@ -119,6 +174,7 @@ func (s *Server) Tables() *Tables { return s.tables.Load() }
 //	                                 next-hop tables, with total weight
 //	GET /stats                       build info + query counters
 //	GET /healthz                     200 once tables are published, else 503
+//	POST /admin/reload               rebuild + atomically swap the tables
 //
 // Malformed or out-of-range s/t answer 400 with a JSON error body;
 // unreachable pairs are a 200 with "unreachable": true, never a 500.
@@ -128,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/route", s.handleRoute)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/admin/reload", s.handleReload)
 	return mux
 }
 
@@ -161,6 +218,7 @@ type StatsResponse struct {
 	RouteQueries    int64   `json:"route_queries"`
 	Unreachable     int64   `json:"unreachable"`
 	BadRequests     int64   `json:"bad_requests"`
+	Reloads         int64   `json:"reloads"`
 }
 
 type errorResponse struct {
@@ -279,7 +337,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if tb != nil {
 		resp.BuildInfo = tb.Info
 	}
+	resp.Reloads = s.reloads.Load()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReloadResponse is the /admin/reload success body: the build info of the
+// generation that was just swapped in.
+type ReloadResponse struct {
+	Generation int64   `json:"generation"`
+	Rounds     int     `json:"apsp_rounds"`
+	BuildMS    float64 `json:"build_ms"`
+}
+
+// handleReload triggers a rebuild + atomic swap. POST only (a reload is a
+// state change, and GET must stay side-effect free for health probes):
+// 405 on other methods, 503 when no rebuild function is registered, 409
+// when a reload is already building, 500 when the rebuild itself fails.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "reload requires POST"})
+		return
+	}
+	t, err := s.Reload()
+	switch {
+	case errors.Is(err, ErrNoRebuild):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrReloadBusy):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, ReloadResponse{
+			Generation: s.reloads.Load(),
+			Rounds:     t.Info.Rounds,
+			BuildMS:    t.Info.BuildMS,
+		})
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

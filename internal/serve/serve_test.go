@@ -364,3 +364,126 @@ func doJSON(t *testing.T, client *http.Client, url string, into any) {
 		t.Fatalf("GET %s: body %q: %v", url, body, err)
 	}
 }
+
+// TestReloadEndpoint drives the /admin/reload trigger end to end: method
+// gate, not-configured and failure shapes, a successful rebuild + swap
+// observed through served distances, and the reload counter in /stats.
+func TestReloadEndpoint(t *testing.T) {
+	base := hybrid.GridGraph(4, 4)
+	heavy := base.Reweight(func(u, v int, w int64) int64 { return 7 * w })
+	tbA := buildTables(t, base, serve.BuildInfo{Rounds: 11})
+	tbB := buildTables(t, heavy, serve.BuildInfo{Rounds: 22})
+
+	srv := serve.New(tbA)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(into any) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/admin/reload", "", nil)
+		if err != nil {
+			t.Fatalf("POST /admin/reload: %v", err)
+		}
+		defer resp.Body.Close()
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("reload body: %v", err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// GET must stay side-effect free: 405 before any state changes.
+	resp, err := http.Get(ts.URL + "/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/reload = %d, want 405", resp.StatusCode)
+	}
+
+	// No rebuild function registered yet: 503, tables untouched.
+	if code := post(nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("reload without rebuild = %d, want 503", code)
+	}
+
+	// A failing rebuild keeps the old generation and answers 500.
+	srv.SetRebuild(func() (*serve.Tables, error) { return nil, fmt.Errorf("synthetic build failure") })
+	if code := post(nil); code != http.StatusInternalServerError {
+		t.Fatalf("failing reload = %d, want 500", code)
+	}
+	if srv.Tables() != tbA || srv.Reloads() != 0 {
+		t.Fatalf("failed reload mutated state: tables=%p reloads=%d", srv.Tables(), srv.Reloads())
+	}
+
+	// A successful reload swaps generations atomically and counts.
+	srv.SetRebuild(func() (*serve.Tables, error) { return tbB, nil })
+	var ok serve.ReloadResponse
+	if code := post(&ok); code != http.StatusOK {
+		t.Fatalf("reload = %d, want 200", code)
+	}
+	if ok.Generation != 1 || ok.Rounds != 22 {
+		t.Fatalf("reload response %+v, want generation 1 rounds 22", ok)
+	}
+	var dr serve.DistanceResponse
+	if code := getJSON(t, fmt.Sprintf("%s/distance?s=0&t=%d", ts.URL, base.N()-1), &dr); code != http.StatusOK {
+		t.Fatalf("distance after reload = %d", code)
+	}
+	want := hybrid.ExactAPSP(heavy)[0][base.N()-1]
+	if dr.Distance != want {
+		t.Fatalf("distance after reload = %d, want %d (new generation)", dr.Distance, want)
+	}
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Reloads != 1 || stats.Rounds != 22 {
+		t.Fatalf("stats after reload: reloads=%d rounds=%d, want 1/22", stats.Reloads, stats.Rounds)
+	}
+}
+
+// TestReloadBusy pins the single-flight contract: while one reload is
+// mid-build, a second trigger answers 409 instead of stacking a build,
+// and queries keep being served from the old generation.
+func TestReloadBusy(t *testing.T) {
+	g := hybrid.GridGraph(3, 3)
+	tb := buildTables(t, g, serve.BuildInfo{Rounds: 1})
+	srv := serve.New(tb)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+	srv.SetRebuild(func() (*serve.Tables, error) {
+		close(inBuild)
+		<-release
+		return tb, nil
+	})
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Reload()
+		firstDone <- err
+	}()
+	<-inBuild
+
+	resp, err := http.Post(ts.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("concurrent reload = %d, want 409", resp.StatusCode)
+	}
+	var dr serve.DistanceResponse
+	if code := getJSON(t, ts.URL+"/distance?s=0&t=8", &dr); code != http.StatusOK {
+		t.Fatalf("query during reload = %d, want 200", code)
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first reload: %v", err)
+	}
+	if srv.Reloads() != 1 {
+		t.Fatalf("reloads = %d, want 1", srv.Reloads())
+	}
+}

@@ -32,7 +32,7 @@ func RunPipeline[T any](g *graph.Graph, cfg Config, p Pipeline[T]) ([]T, Metrics
 	out := make([]T, g.N())
 	var m Metrics
 	var err error
-	if cfg.Engine == EngineStep {
+	if cfg.Engine == EngineStep || cfg.Engine == EngineDist {
 		m, err = RunStep(g, cfg, func(env *Env) StepProgram {
 			id := env.ID()
 			return p.Machine(env, func(res T) { out[id] = res })

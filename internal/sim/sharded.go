@@ -74,6 +74,15 @@ const minShardNodes = 64
 func (e *engine) initSharded() {
 	e.sharded = true
 	s := e.cfg.Shards
+	if e.distMode {
+		// One worker process per shard: under EngineDist the shard count IS
+		// the worker count, so DistWorkers replaces both Shards and the
+		// autotune (results stay independent of the value, as always).
+		s = e.cfg.DistWorkers
+		if s <= 0 {
+			s = DefaultDistWorkers
+		}
+	}
 	if s <= 0 {
 		s = runtime.GOMAXPROCS(0)
 		if max := e.n / minShardNodes; s > max {

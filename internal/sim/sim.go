@@ -148,6 +148,15 @@ const (
 	// programs run on the goroutine engines through DriveProgram. See
 	// step.go and RunStep.
 	EngineStep
+	// EngineDist is the step engine with global-mode delivery routed
+	// through per-shard worker OS processes over a wire protocol (unix
+	// sockets by default). Node execution and local-mode delivery stay in
+	// the coordinator — local payloads are arbitrary Go values — while
+	// every global message makes a real serialize/route/deserialize trip
+	// through its destination shard's worker. Requires a registered
+	// DistRouter factory (importing repro/internal/dist provides one); see
+	// dist.go in this package and the internal/dist package.
+	EngineDist
 )
 
 // String names the engine for flags and benchmark labels.
@@ -157,6 +166,8 @@ func (e Engine) String() string {
 		return "legacy"
 	case EngineStep:
 		return "step"
+	case EngineDist:
+		return "dist"
 	default:
 		return "sharded"
 	}
@@ -189,6 +200,20 @@ type Config struct {
 	// of who stepped the sender); the randomized differential tests draw
 	// it alongside Shards to enforce that.
 	StepBatch int
+
+	// DistWorkers sets how many worker processes EngineDist spawns; the
+	// distributed engine runs one shard per worker, so this replaces the
+	// Shards autotune under EngineDist (Shards is ignored there). Zero or
+	// negative means DefaultDistWorkers. Results are independent of the
+	// value. Other engines ignore it.
+	DistWorkers int
+
+	// DistOpts carries transport/robustness options for EngineDist as an
+	// opaque value the registered DistRouter factory understands (a
+	// *dist.Options — typed any here so this package does not import the
+	// router implementation). Nil uses the router's defaults. Other
+	// engines ignore it.
+	DistOpts any
 
 	// GlobalSendFactor scales the global-mode send cap:
 	// cap = GlobalSendFactor * ceil(log2 n). Zero means 1. The paper's
@@ -329,6 +354,11 @@ type engine struct {
 	stepActive int             // unfinished nodes in the current step run
 	stepBatch  int             // resolved work-stealing batch width, 0 = whole-shard tasks
 	stepCursor atomic.Int64    // next node to claim in a batched step generation
+
+	// Distributed-engine state (nil unless EngineDist); see dist.go.
+	distMode   bool
+	distRouter DistRouter
+	distReqs   [][]GlobalMsg // per-shard request batches, reused across rounds
 }
 
 // Env is a node's handle to the engine. All methods must be called only
@@ -420,7 +450,7 @@ func newEngine(g *graph.Graph, cfg Config) (*engine, error) {
 // through the goroutine-backed adapter (see step.go); results and Metrics
 // are identical on every engine for a fixed seed.
 func Run(g *graph.Graph, cfg Config, program Program) (Metrics, error) {
-	if cfg.Engine == EngineStep {
+	if cfg.Engine == EngineStep || cfg.Engine == EngineDist {
 		return RunStep(g, cfg, AdaptProgram(program))
 	}
 	eng, err := newEngine(g, cfg)

@@ -388,7 +388,7 @@ func (a *programAdapter) await(env *Env) Inbox {
 // DriveProgram, so callers can hold one code path and still select any
 // engine.
 func RunStep(g *graph.Graph, cfg Config, factory StepFactory) (Metrics, error) {
-	if cfg.Engine != EngineStep {
+	if cfg.Engine != EngineStep && cfg.Engine != EngineDist {
 		return Run(g, cfg, AsProgram(factory))
 	}
 	eng, err := newEngine(g, cfg)
@@ -396,8 +396,15 @@ func RunStep(g *graph.Graph, cfg Config, factory StepFactory) (Metrics, error) {
 		return Metrics{}, err
 	}
 	eng.stepMode = true
+	eng.distMode = cfg.Engine == EngineDist
 	eng.initSharded()
 	defer eng.stopSharded()
+	if eng.distMode {
+		if err := eng.startDist(); err != nil {
+			return Metrics{}, err
+		}
+		defer eng.distRouter.Close()
+	}
 	eng.runStepLoop(factory)
 	return eng.results()
 }
@@ -428,7 +435,7 @@ func (e *engine) stepInit(factory StepFactory) {
 // exposes; runStepLoop is nothing but stepInit plus stepAdvance-until-true.
 func (e *engine) stepAdvance() bool {
 	e.stepGeneration()
-	e.stepActive -= e.deliverSharded()
+	e.stepActive -= e.deliverRound()
 	if e.generation >= e.cfg.MaxRounds {
 		e.fail(fmt.Errorf("%w (%d)", ErrTooManyRounds, e.cfg.MaxRounds))
 	}
