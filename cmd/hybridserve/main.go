@@ -58,7 +58,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	n := fs.Int("n", 1024, "number of nodes")
 	seed := fs.Int64("seed", 1, "random seed")
 	maxW := fs.Int64("maxw", 1, "max edge weight (1 = unweighted)")
-	engine := fs.String("engine", "step", "round engine: sharded|step|legacy")
+	engine := fs.String("engine", "step", "round engine: sharded|step|legacy|dist")
+	workers := fs.Int("workers", 0, "dist engine worker-process count (0 = default)")
+	distConnect := fs.String("dist-connect", "", "comma-separated pre-started worker addresses for the dist engine (connect mode)")
+	distWindow := fs.Int("dist-window", 0, "dist engine round-pipelining window (0 = lockstep)")
 	cacheDir := fs.String("cache-dir", "", "warm-start cache directory (load before the build, save after)")
 	addr := fs.String("addr", ":8080", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
 	bench := fs.Bool("bench", false, "replay a query load against the server, write the report, and exit")
@@ -86,8 +89,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		eng = hybrid.EngineStep
 	case "legacy":
 		eng = hybrid.EngineLegacy
+	case "dist":
+		eng = hybrid.EngineDist
 	default:
 		return fatalf("unknown engine %q", *engine)
+	}
+	if (*distConnect != "" || *distWindow > 0 || *workers > 0) && eng != hybrid.EngineDist {
+		return fatalf("-workers, -dist-connect and -dist-window require -engine dist")
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -150,6 +158,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	}
 
 	opts := []hybrid.Option{hybrid.WithSeed(*seed), hybrid.WithEngine(eng), hybrid.WithContext(ctx)}
+	if *workers > 0 {
+		opts = append(opts, hybrid.WithWorkers(*workers))
+	}
+	if *distConnect != "" {
+		opts = append(opts, hybrid.WithDistConnect(strings.Split(*distConnect, ",")...))
+	}
+	if *distWindow > 0 {
+		opts = append(opts, hybrid.WithDistWindow(*distWindow))
+	}
 	if *cacheDir != "" {
 		opts = append(opts, hybrid.WithCacheDir(*cacheDir))
 	}

@@ -295,6 +295,9 @@ func TestRunServeBadFlags(t *testing.T) {
 		{"-bench-levels", "1,zero"},
 		{"-bench-levels", "0"},
 		{"-not-a-flag"},
+		{"-dist-connect", "tcp:127.0.0.1:1"}, // requires -engine dist
+		{"-engine", "step", "-dist-window", "2"},
+		{"-engine", "legacy", "-workers", "2"},
 	} {
 		var stdout, stderr syncBuffer
 		if code := run(context.Background(), args, &stdout, &stderr, nil); code == 0 {

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 
 	hybrid "repro"
 )
@@ -52,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxW := fs.Int64("maxw", 1, "max edge weight (1 = unweighted)")
 	engine := fs.String("engine", "sharded", "round engine: sharded|step|legacy|dist")
 	workers := fs.Int("workers", 0, "dist engine worker-process count (0 = default)")
+	distConnect := fs.String("dist-connect", "", "comma-separated pre-started worker addresses for the dist engine (connect mode, e.g. tcp:10.0.0.7:9000,tcp:10.0.0.8:9000)")
+	distWindow := fs.Int("dist-window", 0, "dist engine round-pipelining window (0 = lockstep)")
 	verify := fs.Bool("verify", true, "check results against sequential ground truth")
 	cacheDir := fs.String("cache-dir", "", "directory for the persistent warm-start cache (load before the run, save after)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
@@ -120,6 +123,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := []hybrid.Option{hybrid.WithSeed(*seed), hybrid.WithEngine(eng)}
 	if *workers > 0 {
 		opts = append(opts, hybrid.WithWorkers(*workers))
+	}
+	if *distConnect != "" {
+		if eng != hybrid.EngineDist {
+			return fatalf("-dist-connect requires -engine dist")
+		}
+		opts = append(opts, hybrid.WithDistConnect(strings.Split(*distConnect, ",")...))
+	}
+	if *distWindow > 0 {
+		if eng != hybrid.EngineDist {
+			return fatalf("-dist-window requires -engine dist")
+		}
+		opts = append(opts, hybrid.WithDistWindow(*distWindow))
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

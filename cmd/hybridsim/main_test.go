@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/dist"
 )
 
 // runCLI invokes run with captured stdout/stderr.
@@ -222,10 +224,37 @@ func TestRunBadFlags(t *testing.T) {
 		{"-algo", "kssp", "-variant", "cor99"},
 		{"-algo", "diameter", "-variant", "cor99"},
 		{"-not-a-flag"},
+		{"-dist-connect", "tcp:127.0.0.1:1"},     // requires -engine dist
+		{"-dist-window", "4"},                    // requires -engine dist
+		{"-engine", "step", "-dist-window", "2"}, // wrong engine
 	} {
 		if code, _, _ := runCLI(args...); code == 0 {
 			t.Errorf("args %v exited 0", args)
 		}
+	}
+}
+
+// TestRunDistConnectCLI runs the full CLI in connect mode against
+// pre-started in-process listen workers and checks the run verifies
+// against ground truth like any other engine.
+func TestRunDistConnectCLI(t *testing.T) {
+	var addrs []string
+	for k := 0; k < 2; k++ {
+		lw, err := dist.StartListenWorker("tcp:127.0.0.1:0", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lw.Close()
+		go lw.Serve()
+		addrs = append(addrs, lw.Addr())
+	}
+	code, stdout, stderr := runCLI("-graph", "path", "-n", "24", "-algo", "sssp", "-seed", "3",
+		"-engine", "dist", "-dist-connect", strings.Join(addrs, ","), "-dist-window", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "24/24 distances exact") {
+		t.Errorf("connect-mode sssp not exact:\n%s", stdout)
 	}
 }
 

@@ -1,14 +1,27 @@
-// hybridworker runs one distributed-engine worker process by hand: it
-// dials a coordinator (see internal/dist), announces the shard it serves,
-// and serves staged rounds until the coordinator shuts it down.
+// hybridworker runs one distributed-engine worker process by hand, in
+// either of EngineDist's two topologies (see internal/dist):
+//
+// Dial mode (-addr) is the spawn-mode shape: the worker dials a running
+// coordinator, announces the shard it serves, and serves staged rounds
+// until the coordinator shuts it down.
+//
+// Listen mode (-listen) is the connect-mode shape: the worker binds a
+// socket, prints the dialable address as "HYBRID_DIST_LISTENING <addr>"
+// on stdout, and accepts coordinators one after another until killed —
+// this is what runs on remote machines, with the coordinator started
+// later under WithDistConnect / -dist-connect pointing at it. -shard is
+// optional here: an unpinned worker serves whichever shard slot the
+// coordinator dialed it for.
 //
 // EngineDist does not normally need this binary — coordinators re-exec
-// themselves as workers — but a standalone worker is the deployment shape
-// for crossing machine boundaries (start hybridworker processes pointing
-// at a TCP coordinator address) and is handy for debugging the protocol.
+// themselves as workers — but a standalone worker is the deployment
+// shape for crossing machine boundaries and is handy for debugging the
+// protocol.
 //
 //	hybridworker -addr unix:/tmp/coord.sock -shard 0
 //	hybridworker -addr tcp:10.0.0.7:4242 -shard 3
+//	hybridworker -listen tcp::9000
+//	hybridworker -listen tcp:10.0.0.7:9000 -shard 1
 package main
 
 import (
@@ -18,22 +31,45 @@ import (
 	"os"
 
 	"repro/internal/dist"
+	"repro/internal/dist/wire"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hybridworker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "", "coordinator address with transport prefix (unix:/path or tcp:host:port)")
-	shard := fs.Int("shard", -1, "shard id this worker serves (>= 0)")
+	listen := fs.String("listen", "", "listen spec with transport prefix (tcp::9000, tcp:host:port, unix:/path); accepts coordinators instead of dialing one")
+	shard := fs.Int("shard", -1, "shard id this worker serves (>= 0; optional with -listen)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *addr == "" || *shard < 0 {
-		fmt.Fprintln(stderr, "hybridworker: -addr and -shard are required")
+	switch {
+	case *addr != "" && *listen != "":
+		fmt.Fprintln(stderr, "hybridworker: -addr and -listen are mutually exclusive")
+		fs.Usage()
+		return 2
+	case *listen != "":
+		sh := *shard
+		if sh < 0 {
+			sh = wire.AnyShard
+		}
+		lw, err := dist.StartListenWorker(*listen, sh)
+		if err != nil {
+			fmt.Fprintf(stderr, "hybridworker: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "HYBRID_DIST_LISTENING %s\n", lw.Addr())
+		if err := lw.Serve(); err != nil {
+			fmt.Fprintf(stderr, "hybridworker: %v\n", err)
+			return 1
+		}
+		return 0
+	case *addr == "" || *shard < 0:
+		fmt.Fprintln(stderr, "hybridworker: -addr and -shard are required (or use -listen)")
 		fs.Usage()
 		return 2
 	}

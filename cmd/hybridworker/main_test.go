@@ -18,21 +18,32 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-shard", "0"},                      // no addr
 		{"-addr", "unix:/x", "-shard", "-2"}, // negative shard
 		{"-bogus"},                           // unknown flag
+		{"-addr", "unix:/x", "-listen", "tcp::0", "-shard", "0"}, // both modes
 	}
 	for _, args := range cases {
-		var sb strings.Builder
-		if code := run(args, &sb); code != 2 {
+		var out, sb strings.Builder
+		if code := run(args, &out, &sb); code != 2 {
 			t.Fatalf("run(%v) = %d, want 2 (stderr: %s)", args, code, sb.String())
 		}
 	}
 }
 
 func TestRunDialFailure(t *testing.T) {
-	var sb strings.Builder
-	if code := run([]string{"-addr", "unix:/nonexistent/coord.sock", "-shard", "0"}, &sb); code != 1 {
+	var out, sb strings.Builder
+	if code := run([]string{"-addr", "unix:/nonexistent/coord.sock", "-shard", "0"}, &out, &sb); code != 1 {
 		t.Fatalf("run = %d, want 1", code)
 	}
 	if !strings.Contains(sb.String(), "hybridworker:") {
+		t.Fatalf("stderr = %q", sb.String())
+	}
+}
+
+func TestRunListenBadSpec(t *testing.T) {
+	var out, sb strings.Builder
+	if code := run([]string{"-listen", "bogus-no-prefix"}, &out, &sb); code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "transport prefix") {
 		t.Fatalf("stderr = %q", sb.String())
 	}
 }
@@ -51,7 +62,7 @@ func TestRunServesUntilShutdown(t *testing.T) {
 
 	done := make(chan int, 1)
 	go func() {
-		done <- run([]string{"-addr", "unix:" + sock, "-shard", "2"}, os.Stderr)
+		done <- run([]string{"-addr", "unix:" + sock, "-shard", "2"}, os.Stdout, os.Stderr)
 	}()
 
 	conn, err := ln.Accept()
@@ -64,6 +75,10 @@ func TestRunServesUntilShutdown(t *testing.T) {
 	join, err := wire.ReadFrame(conn)
 	if err != nil || join.Type != wire.FrameJoin || join.Shard != 2 {
 		t.Fatalf("join frame = %+v, %v", join, err)
+	}
+	hs, err := wire.DecodeHandshake(join.Payload)
+	if err != nil || hs.Min != wire.ProtoMin || hs.Max != wire.ProtoMax || hs.Shard != 2 {
+		t.Fatalf("join handshake = %+v, %v", hs, err)
 	}
 	if _, err := conn.Write(wire.AppendFrame(nil, wire.Frame{Type: wire.FrameHeartbeat, Shard: 2})); err != nil {
 		t.Fatal(err)
@@ -82,4 +97,74 @@ func TestRunServesUntilShutdown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("worker did not exit after shutdown")
 	}
+}
+
+// TestRunListenMode starts the binary entrypoint in listen mode, dials it
+// as a coordinator would, and checks the Join announcement (unpinned
+// worker => AnyShard) plus a ping round trip over the served connection.
+func TestRunListenMode(t *testing.T) {
+	out := make(chan string, 1)
+	pr, pw := newPipeWriter(out)
+	defer pr.Close()
+	go run([]string{"-listen", "tcp:127.0.0.1:0"}, pw, os.Stderr)
+
+	var addr string
+	select {
+	case line := <-out:
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[0] != "HYBRID_DIST_LISTENING" {
+			t.Fatalf("announcement line = %q", line)
+		}
+		addr = fields[1]
+	case <-time.After(5 * time.Second):
+		t.Fatal("no listening announcement")
+	}
+
+	conn, err := net.DialTimeout("tcp", strings.TrimPrefix(addr, "tcp:"), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dialing announced address %s: %v", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	join, err := wire.ReadFrame(conn)
+	if err != nil || join.Type != wire.FrameJoin {
+		t.Fatalf("join frame = %+v, %v", join, err)
+	}
+	hs, err := wire.DecodeHandshake(join.Payload)
+	if err != nil || hs.Shard != wire.AnyShard || hs.Max != wire.ProtoMax {
+		t.Fatalf("join handshake = %+v, %v", hs, err)
+	}
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.Frame{Type: wire.FrameHeartbeat})); err != nil {
+		t.Fatal(err)
+	}
+	if pong, err := wire.ReadFrame(conn); err != nil || pong.Type != wire.FrameHeartbeat {
+		t.Fatalf("ping answered with %+v, %v", pong, err)
+	}
+	// Dropping the connection must not kill the worker: it goes back to
+	// accepting, so a second coordinator can attach.
+	conn.Close()
+	conn2, err := net.DialTimeout("tcp", strings.TrimPrefix(addr, "tcp:"), 5*time.Second)
+	if err != nil {
+		t.Fatalf("re-dial after drop: %v", err)
+	}
+	defer conn2.Close()
+	conn2.SetDeadline(time.Now().Add(5 * time.Second))
+	if join2, err := wire.ReadFrame(conn2); err != nil || join2.Type != wire.FrameJoin {
+		t.Fatalf("second join frame = %+v, %v", join2, err)
+	}
+}
+
+// newPipeWriter returns a pipe whose first line is delivered on lines.
+func newPipeWriter(lines chan<- string) (*os.File, *os.File) {
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		panic(err)
+	}
+	go func() {
+		buf := make([]byte, 256)
+		n, _ := pr.Read(buf)
+		lines <- strings.TrimSpace(string(buf[:n]))
+	}()
+	return pr, pw
 }

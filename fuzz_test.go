@@ -67,6 +67,7 @@ func checkEnginesAgree(t *testing.T, seed int64, graphKind, size, algo uint8, we
 	shards := []int{0, 1, 2, 3, 7, 16}[rng.Intn(6)]
 	stepBatch := []int{0, -1, 1, 5, 64}[rng.Intn(5)]
 	workers := []int{1, 2, 3}[rng.Intn(3)]
+	window := []int{1, 2, 4}[rng.Intn(3)]
 
 	type outcome struct {
 		result  interface{}
@@ -89,7 +90,7 @@ func checkEnginesAgree(t *testing.T, seed int64, graphKind, size, algo uint8, we
 	runOn := func(eng hybrid.Engine) outcome {
 		net := hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithEngine(eng),
 			hybrid.WithShards(shards), hybrid.WithStepBatch(stepBatch),
-			hybrid.WithWorkers(workers))
+			hybrid.WithWorkers(workers), hybrid.WithDistWindow(window))
 		switch algo % 5 {
 		case 0:
 			res, err := net.APSP()

@@ -180,6 +180,42 @@ func WithDistOptions(o *DistOptions) Option {
 	return func(nw *Network) { nw.cfg.DistOpts = o }
 }
 
+// WithDistConnect switches EngineDist to connect mode: instead of
+// spawning local worker processes the coordinator dials these
+// pre-started workers (scheme-prefixed addresses, e.g.
+// "tcp:10.0.0.7:9000"), one per shard in shard order — typically
+// `hybridworker -listen` processes on other machines. The worker count
+// follows the address count. Composes with WithDistOptions (the
+// addresses are merged into whichever options are in effect).
+func WithDistConnect(addrs ...string) Option {
+	return func(nw *Network) {
+		var o DistOptions
+		if prev, ok := nw.cfg.DistOpts.(*DistOptions); ok && prev != nil {
+			o = *prev
+		}
+		o.Connect = append([]string(nil), addrs...)
+		nw.cfg.DistOpts = &o
+		nw.cfg.DistWorkers = len(addrs)
+	}
+}
+
+// WithDistWindow sets EngineDist's round-pipelining window: the
+// coordinator may have up to w rounds in flight per worker before a
+// reply must drain, hiding WAN round trips on barrier-only rounds
+// (default 1: lockstep; automatically clamped to 1 against workers that
+// only speak protocol v1). Results are independent of the value.
+// Composes with WithDistOptions and WithDistConnect.
+func WithDistWindow(w int) Option {
+	return func(nw *Network) {
+		var o DistOptions
+		if prev, ok := nw.cfg.DistOpts.(*DistOptions); ok && prev != nil {
+			o = *prev
+		}
+		o.Window = w
+		nw.cfg.DistOpts = &o
+	}
+}
+
 // WithMaxRounds overrides the runaway-guard round limit.
 func WithMaxRounds(r int) Option {
 	return func(nw *Network) { nw.cfg.MaxRounds = r }

@@ -359,11 +359,11 @@ func TestServeConnErrors(t *testing.T) {
 	})
 	t.Run("proto mismatch", func(t *testing.T) {
 		client, done := serveConnPair(t)
-		hello := wire.Hello{Proto: wire.ProtoVersion + 1, N: 8, LogN: 3, Shard: 0, Lo: 0, Hi: 8}
+		hello := wire.Hello{Proto: wire.ProtoMax + 1, N: 8, LogN: 3, Shard: 0, Lo: 0, Hi: 8, Window: 1}
 		sendFrame(t, client, wire.Frame{Type: wire.FrameHello, Payload: wire.AppendHello(nil, hello)})
 		f := readFrame(t, client)
-		if f.Type != wire.FrameError {
-			t.Fatalf("version mismatch answered with %v", f.Type)
+		if f.Type != wire.FrameError || !strings.Contains(string(f.Payload), "worker speaks") {
+			t.Fatalf("version mismatch answered with %v %q", f.Type, f.Payload)
 		}
 		if err := <-done; err == nil {
 			t.Fatal("ServeConn must fail on protocol mismatch")

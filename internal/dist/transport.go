@@ -26,8 +26,11 @@ type listener struct {
 }
 
 // newListener opens the coordinator's accept socket for the named
-// transport ("unix", "" for the default, or "tcp").
-func newListener(transport string) (*listener, error) {
+// transport ("unix", "" for the default, or "tcp"). bind overrides the
+// TCP bind address (default loopback with an ephemeral port) so a
+// coordinator expecting workers from other machines can bind a routable
+// interface, e.g. "0.0.0.0:9100".
+func newListener(transport, bind string) (*listener, error) {
 	switch transport {
 	case "", "unix":
 		// A fresh short directory keeps the socket path well under the
@@ -44,13 +47,52 @@ func newListener(transport string) (*listener, error) {
 		}
 		return &listener{ln: ln, addr: "unix:" + path, dir: dir}, nil
 	case "tcp":
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("dist: listen tcp: %w", err)
+		if bind == "" {
+			bind = "127.0.0.1:0"
 		}
-		return &listener{ln: ln, addr: "tcp:" + ln.Addr().String()}, nil
+		ln, err := net.Listen("tcp", bind)
+		if err != nil {
+			return nil, fmt.Errorf("dist: listen tcp %s: %w", bind, err)
+		}
+		return &listener{ln: ln, addr: advertiseTCP(ln)}, nil
 	default:
 		return nil, fmt.Errorf("dist: unknown transport %q (want unix or tcp)", transport)
+	}
+}
+
+// advertiseTCP turns a TCP listener's bound address into the
+// scheme-prefixed address handed to spawned (same-box) workers. A
+// wildcard bind ("0.0.0.0:9100", ":9100") is not dialable as written, so
+// it is rewritten to loopback — local children always can reach it there,
+// and remote workers use connect mode, which never consults this address.
+func advertiseTCP(ln net.Listener) string {
+	if ta, ok := ln.Addr().(*net.TCPAddr); ok && (ta.IP == nil || ta.IP.IsUnspecified()) {
+		return fmt.Sprintf("tcp:127.0.0.1:%d", ta.Port)
+	}
+	return "tcp:" + ln.Addr().String()
+}
+
+// listenSpec opens a worker-side listen socket from a scheme-prefixed
+// spec ("tcp::9000", "tcp:10.0.0.7:9000", "unix:/path/sock") and returns
+// the listener plus its bound, dialable address in the same notation
+// (useful when the spec asked for port 0).
+func listenSpec(spec string) (net.Listener, string, error) {
+	switch {
+	case strings.HasPrefix(spec, "tcp:"):
+		ln, err := net.Listen("tcp", strings.TrimPrefix(spec, "tcp:"))
+		if err != nil {
+			return nil, "", fmt.Errorf("dist: listen %s: %w", spec, err)
+		}
+		return ln, advertiseTCP(ln), nil
+	case strings.HasPrefix(spec, "unix:"):
+		path := strings.TrimPrefix(spec, "unix:")
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			return nil, "", fmt.Errorf("dist: listen %s: %w", spec, err)
+		}
+		return ln, "unix:" + path, nil
+	default:
+		return nil, "", fmt.Errorf("dist: listen spec %q has no transport prefix", spec)
 	}
 }
 

@@ -155,6 +155,11 @@ func DecodeReply(data []byte) ([]sim.GlobalMsg, RoundStats, error) {
 // Hello is the coordinator's per-connection configuration handshake: the
 // static facts a worker needs to sort and validate every round of its
 // shard. HeartbeatMillis <= 0 disables the worker's liveness beacon.
+// Proto is the version negotiated from the Join's advertised range; it
+// selects the encoding: a ProtoV1 hello is the legacy 9-field form a
+// version-1 peer can parse, a ProtoV2 hello additionally carries Window,
+// the round-pipelining depth the worker must size its reply ring for
+// (<= 1 means lockstep).
 type Hello struct {
 	Proto            int
 	N                int
@@ -163,11 +168,14 @@ type Hello struct {
 	Lo, Hi           int // the shard's node range [Lo, Hi)
 	StrictRecvFactor int // 0: no receive cap enforcement
 	HeartbeatMillis  int
+	Window           int    // pipelining window (ProtoV2+; <= 1: lockstep)
 	Cut              []bool // global-edge cut marks, nil when unused
 }
 
 // AppendHello appends the Hello payload: a fixed int section plus an
-// optional PackSorted section listing the true indices of Cut.
+// optional PackSorted section listing the true indices of Cut. The fixed
+// section has 9 values in the ProtoV1 form and 10 (Window inserted before
+// the cut marker) from ProtoV2 on.
 func AppendHello(dst []byte, h Hello) []byte {
 	hasCut := int64(0)
 	if h.Cut != nil {
@@ -176,8 +184,16 @@ func AppendHello(dst []byte, h Hello) []byte {
 	ints := []int64{
 		int64(h.Proto), int64(h.N), int64(h.LogN), int64(h.Shard),
 		int64(h.Lo), int64(h.Hi), int64(h.StrictRecvFactor),
-		int64(h.HeartbeatMillis), hasCut,
+		int64(h.HeartbeatMillis),
 	}
+	if h.Proto >= ProtoV2 {
+		w := h.Window
+		if w < 1 {
+			w = 1
+		}
+		ints = append(ints, int64(w))
+	}
+	ints = append(ints, hasCut)
 	dst = appendSection(dst, persist.PackInt64s(ints))
 	if h.Cut != nil {
 		idx := make([]int, 0, len(h.Cut))
@@ -191,17 +207,19 @@ func AppendHello(dst []byte, h Hello) []byte {
 	return dst
 }
 
-// DecodeHello decodes a full Hello payload.
+// DecodeHello decodes a full Hello payload, accepting both the legacy
+// 9-value ProtoV1 form (Window defaults to 1) and the 10-value ProtoV2+
+// form.
 func DecodeHello(data []byte) (Hello, error) {
 	sec, pos, err := nextSection(data, 0)
 	if err != nil {
 		return Hello{}, err
 	}
 	vals, err := persist.UnpackInt64s(sec)
-	if err != nil || len(vals) != 9 {
+	if err != nil || (len(vals) != 9 && len(vals) != 10) {
 		return Hello{}, fmt.Errorf("%w: bad hello section", ErrMalformed)
 	}
-	for i, v := range vals[:8] {
+	for i, v := range vals[:len(vals)-1] {
 		if v < 0 || v > maxNodeID {
 			return Hello{}, fmt.Errorf("%w: hello field %d out of range (%d)", ErrMalformed, i, v)
 		}
@@ -209,9 +227,18 @@ func DecodeHello(data []byte) (Hello, error) {
 	h := Hello{
 		Proto: int(vals[0]), N: int(vals[1]), LogN: int(vals[2]), Shard: int(vals[3]),
 		Lo: int(vals[4]), Hi: int(vals[5]), StrictRecvFactor: int(vals[6]),
-		HeartbeatMillis: int(vals[7]),
+		HeartbeatMillis: int(vals[7]), Window: 1,
 	}
-	if vals[8] != 0 {
+	if len(vals) == 10 {
+		if h.Proto < ProtoV2 {
+			return Hello{}, fmt.Errorf("%w: windowed hello claims protocol %d", ErrMalformed, h.Proto)
+		}
+		if vals[8] < 1 {
+			return Hello{}, fmt.Errorf("%w: hello window %d", ErrMalformed, vals[8])
+		}
+		h.Window = int(vals[8])
+	}
+	if vals[len(vals)-1] != 0 {
 		sec, pos, err = nextSection(data, pos)
 		if err != nil {
 			return Hello{}, err
@@ -234,30 +261,59 @@ func DecodeHello(data []byte) (Hello, error) {
 	return h, nil
 }
 
-// AppendHandshake appends the tiny Join / HelloAck payload: the protocol
-// version and the shard id.
+// AnyShard is the shard value a listen-mode worker announces when it has
+// no pinned shard: the coordinator's connect list decides which shard the
+// connection serves.
+const AnyShard = -1
+
+// Handshake is a decoded Join / HelloAck payload: the version range the
+// peer speaks and the shard it claims (AnyShard: unpinned).
+type Handshake struct {
+	Min, Max int
+	Shard    int
+}
+
+// AppendHandshake appends the legacy single-version Join / HelloAck
+// payload a version-1 peer emits: [ProtoV1, shard].
 func AppendHandshake(dst []byte, shard int) []byte {
 	return appendSection(dst, persist.PackInt64s([]int64{ProtoVersion, int64(shard)}))
 }
 
-// DecodeHandshake decodes a Join / HelloAck payload, returning the peer's
-// protocol version and shard id.
-func DecodeHandshake(data []byte) (proto, shard int, err error) {
+// AppendHandshakeRange appends the versioned Join / HelloAck payload:
+// [min, max, shard], advertising the whole range the sender speaks so the
+// receiver can negotiate the highest common version.
+func AppendHandshakeRange(dst []byte, min, max, shard int) []byte {
+	return appendSection(dst, persist.PackInt64s([]int64{int64(min), int64(max), int64(shard)}))
+}
+
+// DecodeHandshake decodes a Join / HelloAck payload. The two-value legacy
+// form decodes as Min == Max == the announced version, so old and new
+// peers negotiate through the same path.
+func DecodeHandshake(data []byte) (Handshake, error) {
 	sec, pos, err := nextSection(data, 0)
 	if err != nil {
-		return 0, 0, err
+		return Handshake{}, err
 	}
 	vals, err := persist.UnpackInt64s(sec)
-	if err != nil || len(vals) != 2 {
-		return 0, 0, fmt.Errorf("%w: bad handshake section", ErrMalformed)
+	if err != nil || (len(vals) != 2 && len(vals) != 3) {
+		return Handshake{}, fmt.Errorf("%w: bad handshake section", ErrMalformed)
 	}
 	if pos != len(data) {
-		return 0, 0, fmt.Errorf("%w: trailing bytes after handshake", ErrMalformed)
+		return Handshake{}, fmt.Errorf("%w: trailing bytes after handshake", ErrMalformed)
 	}
-	if vals[0] < 0 || vals[0] > maxNodeID || vals[1] < 0 || vals[1] > maxNodeID {
-		return 0, 0, fmt.Errorf("%w: handshake values out of range", ErrMalformed)
+	var h Handshake
+	if len(vals) == 2 {
+		h = Handshake{Min: int(vals[0]), Max: int(vals[0]), Shard: int(vals[1])}
+	} else {
+		h = Handshake{Min: int(vals[0]), Max: int(vals[1]), Shard: int(vals[2])}
 	}
-	return int(vals[0]), int(vals[1]), nil
+	if h.Min < 1 || h.Min > maxNodeID || h.Max < h.Min || h.Max > maxNodeID {
+		return Handshake{}, fmt.Errorf("%w: handshake version range [%d,%d] out of range", ErrMalformed, h.Min, h.Max)
+	}
+	if h.Shard < AnyShard || h.Shard > maxNodeID {
+		return Handshake{}, fmt.Errorf("%w: handshake shard %d out of range", ErrMalformed, h.Shard)
+	}
+	return h, nil
 }
 
 // appendSection appends one uvarint-length-prefixed byte section.

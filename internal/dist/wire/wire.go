@@ -31,10 +31,49 @@ import (
 	"io"
 )
 
-// ProtoVersion is the protocol generation spoken over a connection; Hello
-// and Join carry it, and a mismatch aborts the handshake instead of
-// producing silent garbage.
-const ProtoVersion = 1
+// Protocol generations. A connection speaks exactly one version,
+// negotiated during the Join/Hello handshake: each peer advertises the
+// [min, max] range its build supports and the pair settles on the highest
+// version common to both ranges, so old and new builds keep interoperating
+// during a rolling upgrade and truly incompatible pairs fail with an
+// explicit range error instead of silent garbage.
+//
+//   - ProtoV1 is the original lockstep protocol: one round in flight per
+//     worker, a single-slot reply cache, 9-field Hello.
+//   - ProtoV2 adds round pipelining: the Hello carries the coordinator's
+//     send window, the worker keeps a reply ring keyed by round (so a
+//     retransmit of any in-window round is answered byte-stably), and the
+//     coordinator may ship round r+1 before round r's reply has drained.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+
+	// ProtoMin and ProtoMax bound the versions this build speaks.
+	ProtoMin = ProtoV1
+	ProtoMax = ProtoV2
+)
+
+// ProtoVersion is the base protocol generation every build speaks; legacy
+// single-version handshake payloads carry it.
+const ProtoVersion = ProtoV1
+
+// Negotiate returns the highest protocol version inside both peers'
+// advertised [min, max] ranges, or an error naming both ranges when they
+// do not intersect.
+func Negotiate(aMin, aMax, bMin, bMax int) (int, error) {
+	hi := aMax
+	if bMax < hi {
+		hi = bMax
+	}
+	lo := aMin
+	if bMin > lo {
+		lo = bMin
+	}
+	if hi < lo {
+		return 0, fmt.Errorf("wire: no common protocol version: [%d,%d] vs [%d,%d]", aMin, aMax, bMin, bMax)
+	}
+	return hi, nil
+}
 
 // MaxFrameLen bounds the length prefix: no frame body may exceed 64 MiB,
 // compressed or decompressed. The bound exists so length validation can

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/persist"
 	"repro/internal/sim"
 )
 
@@ -214,30 +215,99 @@ func TestReplyRoundTrip(t *testing.T) {
 
 func TestHelloRoundTrip(t *testing.T) {
 	cases := []Hello{
-		{Proto: ProtoVersion, N: 100, LogN: 7, Shard: 2, Lo: 50, Hi: 75, StrictRecvFactor: 2, HeartbeatMillis: 500},
-		{Proto: ProtoVersion, N: 4, LogN: 2, Shard: 0, Lo: 0, Hi: 4, Cut: []bool{true, false, false, true}},
+		// V1 hellos (9-int legacy layout; Window defaults to 1 on decode).
+		{Proto: ProtoV1, N: 100, LogN: 7, Shard: 2, Lo: 50, Hi: 75, StrictRecvFactor: 2, HeartbeatMillis: 500, Window: 1},
+		{Proto: ProtoV1, N: 4, LogN: 2, Shard: 0, Lo: 0, Hi: 4, Window: 1, Cut: []bool{true, false, false, true}},
+		// V2 hellos carry the pipelining window explicitly.
+		{Proto: ProtoV2, N: 100, LogN: 7, Shard: 2, Lo: 50, Hi: 75, StrictRecvFactor: 2, HeartbeatMillis: 500, Window: 8},
+		{Proto: ProtoV2, N: 4, LogN: 2, Shard: 0, Lo: 0, Hi: 4, Window: 1, Cut: []bool{true, false, false, true}},
 	}
 	for i, h := range cases {
-		got, err := DecodeHello(AppendHello(nil, h))
+		enc := AppendHello(nil, h)
+		got, err := DecodeHello(enc)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
 		if !reflect.DeepEqual(got, h) {
 			t.Fatalf("case %d: %+v != %+v", i, got, h)
 		}
+		// A v1 hello must keep the original 9-int layout so old builds
+		// can decode it; the window field only appears at v2.
+		if h.Proto == ProtoV1 && !reflect.DeepEqual(enc, AppendHello(nil, Hello{
+			Proto: h.Proto, N: h.N, LogN: h.LogN, Shard: h.Shard, Lo: h.Lo, Hi: h.Hi,
+			StrictRecvFactor: h.StrictRecvFactor, HeartbeatMillis: h.HeartbeatMillis, Cut: h.Cut,
+		})) {
+			t.Fatalf("case %d: v1 hello encoding not window-independent", i)
+		}
 	}
 	if _, err := DecodeHello([]byte{0xff}); !errors.Is(err, ErrMalformed) {
 		t.Fatal("garbage hello accepted")
 	}
+	// A 10-int (windowed) hello claiming protocol v1 is structural
+	// nonsense and must be rejected.
+	bad := appendSection(nil, persist.PackInt64s([]int64{ProtoV1, 8, 3, 0, 0, 8, 0, 0, 4, 0}))
+	if _, err := DecodeHello(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("windowed hello claiming v1 accepted: %v", err)
+	}
+	// A windowed hello with a zero window is likewise malformed.
+	bad = appendSection(nil, persist.PackInt64s([]int64{ProtoV2, 8, 3, 0, 0, 8, 0, 0, 0, 0}))
+	if _, err := DecodeHello(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-window hello accepted: %v", err)
+	}
 }
 
 func TestHandshakeRoundTrip(t *testing.T) {
-	proto, shard, err := DecodeHandshake(AppendHandshake(nil, 5))
-	if err != nil || proto != ProtoVersion || shard != 5 {
-		t.Fatalf("handshake round trip: %d %d %v", proto, shard, err)
+	// Legacy 2-value form: decodes as a single-version range.
+	hs, err := DecodeHandshake(AppendHandshake(nil, 5))
+	if err != nil || hs.Min != ProtoVersion || hs.Max != ProtoVersion || hs.Shard != 5 {
+		t.Fatalf("legacy handshake round trip: %+v %v", hs, err)
 	}
-	if _, _, err := DecodeHandshake([]byte{3, 1}); err == nil {
+	// Versioned 3-value form, including an unpinned (AnyShard) worker.
+	for _, c := range []Handshake{
+		{Min: ProtoMin, Max: ProtoMax, Shard: 3},
+		{Min: 1, Max: 1, Shard: 0},
+		{Min: 2, Max: 9, Shard: AnyShard},
+	} {
+		got, err := DecodeHandshake(AppendHandshakeRange(nil, c.Min, c.Max, c.Shard))
+		if err != nil || got != c {
+			t.Fatalf("handshake range round trip: %+v -> %+v %v", c, got, err)
+		}
+	}
+	if _, err := DecodeHandshake([]byte{3, 1}); err == nil {
 		t.Fatal("garbage handshake accepted")
+	}
+	// Inverted range and out-of-range shard are rejected.
+	if _, err := DecodeHandshake(AppendHandshakeRange(nil, 3, 2, 0)); err == nil {
+		t.Fatal("inverted version range accepted")
+	}
+	if _, err := DecodeHandshake(AppendHandshakeRange(nil, 1, 2, -7)); err == nil {
+		t.Fatal("negative non-AnyShard shard accepted")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		aMin, aMax, bMin, bMax int
+		want                   int
+		wantErr                bool
+	}{
+		{1, 1, 1, 1, 1, false}, // same old build on both sides
+		{1, 2, 1, 2, 2, false}, // same new build: highest version wins
+		{1, 1, 1, 2, 1, false}, // old coordinator, new worker
+		{1, 2, 1, 1, 1, false}, // new coordinator, old worker
+		{1, 2, 2, 3, 2, false}, // overlapping ranges
+		{1, 1, 2, 3, 0, true},  // disjoint: incompatible builds
+		{3, 4, 1, 2, 0, true},  // disjoint the other way
+		{2, 2, 1, 3, 2, false}, // pinned version inside the peer's range
+	}
+	for i, c := range cases {
+		got, err := Negotiate(c.aMin, c.aMax, c.bMin, c.bMax)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Fatalf("case %d: Negotiate(%d,%d,%d,%d) = %d, %v", i, c.aMin, c.aMax, c.bMin, c.bMax, got, err)
+		}
+		if c.wantErr && !strings.Contains(err.Error(), "no common protocol version") {
+			t.Fatalf("case %d: error %q does not name the version conflict", i, err)
+		}
 	}
 }
 
@@ -247,6 +317,8 @@ func TestHandshakeRoundTrip(t *testing.T) {
 func FuzzDistWire(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Type: FrameHeartbeat}))
 	f.Add(AppendFrame(nil, Frame{Type: FrameJoin, Shard: 1, Payload: AppendHandshake(nil, 1)}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameJoin, Shard: 1, Payload: AppendHandshakeRange(nil, ProtoMin, ProtoMax, 1)}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameJoin, Shard: 0, Payload: AppendHandshakeRange(nil, ProtoMin, ProtoMax, AnyShard)}))
 	f.Add(AppendFrame(nil, Frame{
 		Type: FrameRound, Round: 3, Shard: 0,
 		Payload: AppendMsgs(nil, []sim.GlobalMsg{{Src: 1, Dst: 2, Kind: 3, F0: -9}}),
@@ -258,6 +330,10 @@ func FuzzDistWire(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{
 		Type:    FrameHello,
 		Payload: AppendHello(nil, Hello{Proto: ProtoVersion, N: 8, LogN: 3, Hi: 8, Cut: []bool{true, false, true, false, true, false, true, false}}),
+	}))
+	f.Add(AppendFrame(nil, Frame{
+		Type:    FrameHello,
+		Payload: AppendHello(nil, Hello{Proto: ProtoV2, N: 8, LogN: 3, Hi: 8, Window: 4, Cut: []bool{true, false, true, false, true, false, true, false}}),
 	}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0x03}) // huge length prefix, no body
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dist/wire"
@@ -37,12 +38,39 @@ import (
 const (
 	envAddr  = "HYBRID_DIST_ADDR"
 	envShard = "HYBRID_DIST_SHARD"
+	// envListen hijacks the process into listen mode: the value is a
+	// scheme-prefixed listen spec and the worker prints the bound address
+	// as "HYBRID_DIST_LISTENING <addr>" on stdout, then accepts
+	// coordinators until killed. Tests use it to pre-start real worker
+	// processes for connect mode.
+	envListen = "HYBRID_DIST_LISTEN"
 	// EnvWorkerBin overrides the executable spawned for workers (defaults
 	// to the coordinator's own binary).
 	EnvWorkerBin = "HYBRID_DIST_WORKER_BIN"
 )
 
 func init() {
+	if spec := os.Getenv(envListen); spec != "" {
+		shard := wire.AnyShard
+		if s := os.Getenv(envShard); s != "" {
+			var err error
+			if shard, err = strconv.Atoi(s); err != nil {
+				fmt.Fprintf(os.Stderr, "hybrid dist worker: bad %s: %v\n", envShard, err)
+				os.Exit(2)
+			}
+		}
+		lw, err := StartListenWorker(spec, shard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybrid dist worker: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("HYBRID_DIST_LISTENING %s\n", lw.Addr())
+		if err := lw.Serve(); err != nil {
+			fmt.Fprintf(os.Stderr, "hybrid dist worker: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	addr := os.Getenv(envAddr)
 	if addr == "" {
 		return
@@ -60,7 +88,8 @@ func init() {
 }
 
 // RunWorker dials the coordinator, announces which shard this process
-// serves, and serves rounds until shutdown or connection loss.
+// serves along with the protocol range this build speaks, and serves
+// rounds until shutdown or connection loss.
 func RunWorker(addr string, shard int) error {
 	if shard < 0 {
 		return fmt.Errorf("dist: negative shard %d", shard)
@@ -73,12 +102,103 @@ func RunWorker(addr string, shard int) error {
 	join := wire.AppendFrame(nil, wire.Frame{
 		Type:    wire.FrameJoin,
 		Shard:   shard,
-		Payload: wire.AppendHandshake(nil, shard),
+		Payload: wire.AppendHandshakeRange(nil, wire.ProtoMin, wire.ProtoMax, shard),
 	})
 	if _, err := conn.Write(join); err != nil {
 		return fmt.Errorf("dist: sending join: %w", err)
 	}
 	return ServeConn(conn)
+}
+
+// ListenWorker is a pre-started worker in connect mode: it listens for
+// coordinators instead of dialing one, serving them one at a time. Each
+// accepted connection is announced with a Join frame carrying the
+// worker's protocol range and shard pinning, then served with the normal
+// protocol loop; when a connection ends (shutdown, coordinator death,
+// kill fault) the worker goes back to accepting, which is what makes
+// coordinator-side re-dial recovery work.
+type ListenWorker struct {
+	ln       net.Listener
+	addr     string
+	shard    int // wire.AnyShard when unpinned
+	min, max int // advertised protocol range
+	closed   atomic.Bool
+}
+
+// StartListenWorker opens the listen socket for spec (e.g. "tcp::9000")
+// and returns the worker, ready to Serve. shard pins the worker to one
+// shard; pass wire.AnyShard to let the coordinator assign it by which
+// address slot it dialed.
+func StartListenWorker(spec string, shard int) (*ListenWorker, error) {
+	return startListenWorkerRange(spec, shard, wire.ProtoMin, wire.ProtoMax)
+}
+
+// startListenWorkerRange is StartListenWorker with an explicit protocol
+// range, so tests can stand up version-bumped or legacy peers.
+func startListenWorkerRange(spec string, shard, min, max int) (*ListenWorker, error) {
+	if shard < wire.AnyShard {
+		return nil, fmt.Errorf("dist: bad shard %d", shard)
+	}
+	ln, addr, err := listenSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &ListenWorker{ln: ln, addr: addr, shard: shard, min: min, max: max}, nil
+}
+
+// Addr is the bound, dialable scheme-prefixed address — pass it to
+// dist.Options.Connect.
+func (lw *ListenWorker) Addr() string { return lw.addr }
+
+// Serve accepts coordinator connections until Close. Serving errors on
+// one connection are reported on stderr and the worker keeps accepting;
+// only listener failure (or Close) ends the loop.
+func (lw *ListenWorker) Serve() error {
+	for {
+		conn, err := lw.ln.Accept()
+		if err != nil {
+			if lw.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("dist: listen worker accept: %w", err)
+		}
+		lw.serveOne(conn)
+	}
+}
+
+// serveOne announces and serves a single coordinator connection.
+func (lw *ListenWorker) serveOne(conn net.Conn) {
+	defer conn.Close()
+	frameShard := lw.shard
+	if frameShard < 0 {
+		frameShard = 0 // frame headers are unsigned; the payload carries AnyShard
+	}
+	join := wire.AppendFrame(nil, wire.Frame{
+		Type:    wire.FrameJoin,
+		Shard:   frameShard,
+		Payload: wire.AppendHandshakeRange(nil, lw.min, lw.max, lw.shard),
+	})
+	if _, err := conn.Write(join); err != nil {
+		fmt.Fprintf(os.Stderr, "hybrid dist worker: sending join: %v\n", err)
+		return
+	}
+	if err := serveConnRange(conn, lw.min, lw.max); err != nil {
+		fmt.Fprintf(os.Stderr, "hybrid dist worker: %v\n", err)
+	}
+}
+
+// Close stops the accept loop.
+func (lw *ListenWorker) Close() error {
+	lw.closed.Store(true)
+	return lw.ln.Close()
+}
+
+// cachedReply is one slot of the worker's reply ring: the encoded frame
+// bytes of a served round, kept so a retransmit of any in-window round is
+// answered byte-identically without recomputation.
+type cachedReply struct {
+	round int
+	reply []byte
 }
 
 // workerState is the per-connection round-serving state, configured by
@@ -90,16 +210,49 @@ type workerState struct {
 	strict int
 	cut    []bool
 
-	counts    []int // per-node receive counts, indexed by Dst-lo
-	lastRound int
-	lastReply []byte // encoded frame bytes of the last reply, for retransmits
+	counts []int // per-node receive counts, indexed by Dst-lo
+	// replies is the reply ring, sized to the coordinator's pipelining
+	// window: under ProtoV2 up to Window rounds may be in flight at once,
+	// and a lost reply to ANY of them can be retransmitted, so the cache
+	// must hold one reply per in-window round (the V1 protocol's single
+	// lastReply slot is the ring of size one).
+	replies []cachedReply
+	next    int // next ring slot to overwrite once full
+}
+
+// cached returns the ring entry for round, or nil.
+func (st *workerState) cached(round int) []byte {
+	for _, c := range st.replies {
+		if c.round == round && c.reply != nil {
+			return c.reply
+		}
+	}
+	return nil
+}
+
+// remember stores a served round's encoded reply in the ring.
+func (st *workerState) remember(round int, reply []byte) {
+	if len(st.replies) < cap(st.replies) || len(st.replies) == 0 {
+		st.replies = append(st.replies, cachedReply{round, reply})
+		return
+	}
+	st.replies[st.next] = cachedReply{round, reply}
+	st.next = (st.next + 1) % len(st.replies)
 }
 
 // ServeConn runs the worker protocol loop over one coordinator
 // connection until a Shutdown frame, EOF, or an unrecoverable error. It
 // is exported so tests can drive the exact production loop in-process
-// (over net.Pipe), where coverage and the race detector see it.
+// (over net.Pipe), where coverage and the race detector see it. The
+// build's full protocol range is accepted.
 func ServeConn(conn net.Conn) error {
+	return serveConnRange(conn, wire.ProtoMin, wire.ProtoMax)
+}
+
+// serveConnRange is ServeConn accepting only hellos whose negotiated
+// version falls in [min, max] — the knob tests use to emulate older or
+// newer worker builds.
+func serveConnRange(conn net.Conn, min, max int) error {
 	var (
 		writeMu  sync.Mutex
 		st       *workerState
@@ -138,15 +291,23 @@ func ServeConn(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			if h.Proto != wire.ProtoVersion {
+			if h.Proto < min || h.Proto > max {
 				send(wire.Frame{Type: wire.FrameError,
-					Payload: []byte(fmt.Sprintf("protocol version %d, worker speaks %d", h.Proto, wire.ProtoVersion))})
-				return fmt.Errorf("dist: protocol version mismatch: coordinator %d, worker %d", h.Proto, wire.ProtoVersion)
+					Payload: []byte(fmt.Sprintf("protocol version %d, worker speaks [%d,%d]", h.Proto, min, max))})
+				return fmt.Errorf("dist: protocol version mismatch: coordinator %d, worker [%d,%d]", h.Proto, min, max)
+			}
+			window := h.Window
+			if window < 1 {
+				window = 1
+			}
+			if window > MaxWindow {
+				window = MaxWindow
 			}
 			st = &workerState{
 				shard: h.Shard, lo: h.Lo, hi: h.Hi, logN: h.LogN,
 				strict: h.StrictRecvFactor, cut: h.Cut,
-				counts: make([]int, h.Hi-h.Lo),
+				counts:  make([]int, h.Hi-h.Lo),
+				replies: make([]cachedReply, 0, window),
 			}
 			if err := send(wire.Frame{Type: wire.FrameHelloAck, Shard: h.Shard,
 				Payload: wire.AppendHandshake(nil, h.Shard)}); err != nil {
@@ -165,12 +326,12 @@ func ServeConn(conn net.Conn) error {
 				}
 				continue
 			}
-			if f.Round == st.lastRound && st.lastReply != nil {
-				// Duplicate of the round just served: the coordinator's
-				// retry path resent after a lost or late reply. Answer
-				// from the cache — recomputing would be byte-identical,
-				// resending is cheaper.
-				if err := sendRaw(st.lastReply); err != nil {
+			if cached := st.cached(f.Round); cached != nil {
+				// Duplicate of an in-window round already served: the
+				// coordinator's retry path resent after a lost or late
+				// reply. Answer from the ring — recomputing would be
+				// byte-identical, resending is cheaper.
+				if err := sendRaw(cached); err != nil {
 					return err
 				}
 				continue
@@ -197,8 +358,7 @@ func ServeConn(conn net.Conn) error {
 				Shard:   st.shard,
 				Payload: wire.AppendReply(nil, sorted, stats),
 			})
-			st.lastRound = f.Round
-			st.lastReply = reply
+			st.remember(f.Round, reply)
 			if err := sendRaw(reply); err != nil {
 				return err
 			}

@@ -61,6 +61,15 @@ type DistRouter interface {
 	Close() error
 }
 
+// DistFlusher is optionally implemented by routers that pipeline rounds:
+// Flush drains any reply collection the router deferred under its window
+// and reports the first failure. The engine calls it once after the round
+// loop, before Close, so a worker failure on a deferred tail round still
+// fails the run instead of vanishing into Close's ignored error.
+type DistFlusher interface {
+	Flush() error
+}
+
 var (
 	distFactoryMu sync.RWMutex
 	distFactory   func(DistRouterConfig) (DistRouter, error)
