@@ -64,6 +64,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	distWindow := fs.Int("dist-window", 0, "dist engine round-pipelining window (0 = lockstep)")
 	cacheDir := fs.String("cache-dir", "", "warm-start cache directory (load before the build, save after)")
 	addr := fs.String("addr", ":8080", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
+	maxInflight := fs.Int("max-inflight", 256, "max concurrently served query requests before shedding 429s (0 = unlimited)")
+	requestTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline on query endpoints, 503 past it (0 = none)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "time limit for reading a request's headers — the slowloris guard (0 = none)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "time limit for reading a whole request (0 = none)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "time limit for writing a response; raise it if reloads of very large graphs exceed it (0 = none)")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "keep-alive connection idle timeout (0 = none)")
 	bench := fs.Bool("bench", false, "replay a query load against the server, write the report, and exit")
 	benchQueries := fs.Int("bench-queries", 40000, "queries replayed at EACH concurrency level")
 	benchLevels := fs.String("bench-levels", "1,4,16", "comma-separated concurrency levels to sweep")
@@ -139,11 +145,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	// until the tables are published, so clients can poll for readiness
 	// while the HYBRID rounds run.
 	srv := serve.New(nil)
+	srv.SetMaxInflight(*maxInflight)
+	srv.SetRequestTimeout(*requestTimeout)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fatalf("listen %s: %v", *addr, err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Every connection-level timeout is set: without them one stalled or
+	// malicious client (slowloris: headers fed a byte at a time) holds a
+	// connection and its goroutine forever.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(stderr, "listening on %s\n", ln.Addr())

@@ -9,11 +9,14 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -370,5 +373,134 @@ func TestRunServeReloadTriggers(t *testing.T) {
 	}
 	if code := s.stop(t); code != 0 {
 		t.Fatalf("exit %d, want 0", code)
+	}
+}
+
+// TestRunServeSlowlorisCut pins the slowloris guard: a connection that
+// sends a partial header and then stalls is cut by ReadHeaderTimeout
+// instead of holding its goroutine forever, and the server keeps serving
+// well-behaved clients.
+func TestRunServeSlowlorisCut(t *testing.T) {
+	s := startServer(t, "-graph", "path", "-n", "8", "-read-header-timeout", "200ms")
+	s.waitHealthy(t)
+
+	conn, err := net.Dial("tcp", s.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: slow\r\nX-Dribble: ")); err != nil {
+		t.Fatal(err)
+	}
+	// Never finish the headers: the server must hang up on us, promptly.
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(15 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		if _, err = conn.Read(buf); err != nil {
+			break
+		}
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never cut the stalled-header connection")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stalled connection survived %v, want a cut near the 200ms header timeout", elapsed)
+	}
+
+	if code := s.getJSON(t, "/healthz", nil); code != http.StatusOK {
+		t.Errorf("/healthz after slowloris cut: status %d", code)
+	}
+	if code := s.stop(t); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+// TestRunServeSIGTERMMidTraffic replicates main()'s signal wiring and
+// delivers a real SIGTERM to our own process while query traffic is
+// flowing: the drain must complete and the run exit 0.
+func TestRunServeSIGTERMMidTraffic(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-graph", "grid", "-n", "49", "-seed", "42", "-addr", "127.0.0.1:0"},
+			stdout, stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("run exited %d before listening, stderr:\n%s", code, stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("listener never came up")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never healthy, stderr:\n%s", stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	var served atomic.Int64
+	stopTraffic := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + addr + "/distance?s=0&t=48")
+				if err != nil {
+					continue // refused during/after drain is expected
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					served.Add(1)
+				}
+			}
+		}()
+	}
+	// Let real traffic land before the signal.
+	for served.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-done:
+	case <-time.After(30 * time.Second):
+		close(stopTraffic)
+		t.Fatal("run did not exit after SIGTERM")
+	}
+	close(stopTraffic)
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("SIGTERM mid-traffic exited %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shutting down") {
+		t.Errorf("no shutdown message:\n%s", stderr.String())
+	}
+	if served.Load() == 0 {
+		t.Error("no traffic was served before the signal")
 	}
 }

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/dist"
 	"repro/internal/dist/wire"
@@ -62,6 +64,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "hybridworker: %v\n", err)
 			return 1
 		}
+		// A resident listener is what runs on remote machines, so it gets
+		// the daemon contract: SIGTERM/SIGINT close the listener and Serve
+		// returns nil — exit 0, not a kill.
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+		defer signal.Stop(sigCh)
+		go func() {
+			if sig, ok := <-sigCh; ok {
+				fmt.Fprintf(stderr, "hybridworker: %v: shutting down\n", sig)
+				lw.Close()
+			}
+		}()
 		fmt.Fprintf(stdout, "HYBRID_DIST_LISTENING %s\n", lw.Addr())
 		if err := lw.Serve(); err != nil {
 			fmt.Fprintf(stderr, "hybridworker: %v\n", err)

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -153,6 +155,62 @@ func TestRunListenMode(t *testing.T) {
 	if join2, err := wire.ReadFrame(conn2); err != nil || join2.Type != wire.FrameJoin {
 		t.Fatalf("second join frame = %+v, %v", join2, err)
 	}
+}
+
+// TestRunListenSIGTERM checks the daemon contract: a listen-mode worker
+// hit with SIGTERM closes its listener and exits 0, not via kill.
+func TestRunListenSIGTERM(t *testing.T) {
+	out := make(chan string, 1)
+	pr, pw := newPipeWriter(out)
+	defer pr.Close()
+	var sb syncBuilder
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-listen", "tcp:127.0.0.1:0"}, pw, &sb)
+	}()
+
+	select {
+	case line := <-out:
+		if !strings.HasPrefix(line, "HYBRID_DIST_LISTENING ") {
+			t.Fatalf("announcement line = %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no listening announcement")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("worker exited %d, want 0 (stderr: %s)", code, sb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after SIGTERM")
+	}
+	if !strings.Contains(sb.String(), "shutting down") {
+		t.Fatalf("stderr = %q, want shutdown notice", sb.String())
+	}
+}
+
+// syncBuilder is a mutex-guarded strings.Builder safe to share between the
+// worker goroutine and the test's assertions.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 // newPipeWriter returns a pipe whose first line is delivered on lines.

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/persist"
+)
+
+// FaultFS is a persist.FS that applies a Plan's filesystem faults on top
+// of the real filesystem (persist.OS). Install with persist.SetFS:
+//
+//	restore := persist.SetFS(plan.FS())
+//	defer restore()
+//
+// A short write really writes the truncated prefix and reports success —
+// exactly what a crash mid-write leaves behind — so the cache file on
+// disk is torn and only the persist integrity header catches it at load.
+type FaultFS struct {
+	Plan *Plan
+	// Inner overrides the backing FS; nil means persist.OS{}.
+	Inner persist.FS
+}
+
+func (f FaultFS) inner() persist.FS {
+	if f.Inner != nil {
+		return f.Inner
+	}
+	return persist.OS{}
+}
+
+// MkdirAll implements persist.FS (never faulted: directory creation
+// failures are indistinguishable from bad config, not interesting chaos).
+func (f FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner().MkdirAll(path, perm)
+}
+
+// WriteFileSync implements persist.FS with injected short and failed
+// writes.
+func (f FaultFS) WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	if fired, _ := f.Plan.onFS(fsFailWrite, path); fired {
+		return fmt.Errorf("%w: write %s", ErrInjectedWrite, path)
+	}
+	if fired, keep := f.Plan.onFS(fsShortWrite, path); fired {
+		if keep > len(data) {
+			keep = len(data)
+		}
+		return f.inner().WriteFileSync(path, data[:keep], perm)
+	}
+	return f.inner().WriteFileSync(path, data, perm)
+}
+
+// Rename implements persist.FS with injected rename failures.
+func (f FaultFS) Rename(oldpath, newpath string) error {
+	if fired, _ := f.Plan.onFS(fsFailRename, newpath); fired {
+		return fmt.Errorf("%w: rename %s", ErrInjectedWrite, newpath)
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+// SyncDir implements persist.FS with injected directory-sync failures.
+func (f FaultFS) SyncDir(path string) error {
+	if fired, _ := f.Plan.onFS(fsFailSync, path); fired {
+		return fmt.Errorf("%w: syncdir %s", ErrInjectedWrite, path)
+	}
+	return f.inner().SyncDir(path)
+}
+
+// Remove implements persist.FS (never faulted).
+func (f FaultFS) Remove(path string) error { return f.inner().Remove(path) }

@@ -1,0 +1,451 @@
+// The chaos soak: randomized, seeded fault plans drawn from a bounded
+// space are run against the FULL build-serve-reload-query loop — a dist
+// engine build under frame drops/delays/kills, a cache save through the
+// fault-injected FS seam, a real net/http server with the resilience
+// chain, concurrent traffic, mid-traffic reloads (some of which are
+// scripted to fail), and a graceful drain — asserting the availability
+// invariants end to end:
+//
+//   - every well-formed (200) answer is byte-identical to the fault-free
+//     oracle, whatever generation served it;
+//   - the only other statuses are the honest ones: 429 with Retry-After
+//     (load shed), 503 with the deadline body (request timeout), 500 with
+//     the recovery body (injected panic), or a transport error (injected
+//     reset);
+//   - a failed rebuild leaves the server degraded but ANSWERING from the
+//     last-good tables, and the next successful reload clears it;
+//   - shutdown drains cleanly (no deadlock — the test itself completing
+//     under `go test`'s timeout is the deadlock check).
+//
+// Every plan is a pure function of its seed, so a failure is reproducible
+// by name. The default run sweeps a fixed handful of seeds (fast enough
+// for tier-1, including -race); the nightly job sets CHAOS_SOAK_BUDGET to
+// a duration to loop fresh random seeds until the budget is spent,
+// appending any failing seed to the CHAOS_SOAK_ARTIFACT file so CI can
+// upload it.
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	hybrid "repro"
+	"repro/internal/chaos"
+	"repro/internal/dist"
+	"repro/internal/persist"
+	"repro/internal/serve"
+)
+
+// soakSpace bounds the random plans: small enough that every fault class
+// is recoverable by design (kills within the respawn budget, delays far
+// below the request deadline), large enough that most seeds fire faults
+// in several layers at once.
+func soakSpace(rounds int) chaos.Space {
+	return chaos.Space{
+		Shards:    2,
+		Rounds:    rounds,
+		MaxDrops:  2,
+		MaxDelays: 2,
+		MaxKills:  2,
+
+		// Query paths only: the control plane (/healthz, /admin/reload) is
+		// kept fault-free so the soak's own probes stay deterministic.
+		HTTPPaths:     []string{"/distance", "/route"},
+		MaxHTTPDelays: 3,
+		MaxHTTPDelay:  2 * time.Millisecond,
+		MaxResets:     2,
+		MaxPanics:     2,
+
+		MaxRebuildFails: 1,
+		CacheSub:        ".hybc",
+		MaxShortWrites:  1,
+		MaxFailedWrites: 1,
+		MaxFailedSyncs:  1,
+	}
+}
+
+func TestChaosSoak(t *testing.T) {
+	g := hybrid.GridGraph(6, 6)
+	oracle, err := hybrid.New(g, hybrid.WithSeed(42)).APSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runSeed := func(seed int64) bool {
+		return t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			soakOnce(t, g, oracle, seed)
+		})
+	}
+
+	budget := os.Getenv("CHAOS_SOAK_BUDGET")
+	if budget == "" {
+		for _, seed := range []int64{1, 7, 1729, 6174} {
+			runSeed(seed)
+		}
+		return
+	}
+
+	// Nightly mode: fresh random seeds until the budget is spent; failing
+	// seeds land in the artifact file (they reproduce locally with
+	// soakOnce under that exact seed — the plan is a function of it).
+	d, err := time.ParseDuration(budget)
+	if err != nil {
+		t.Fatalf("CHAOS_SOAK_BUDGET=%q: %v", budget, err)
+	}
+	artifact := os.Getenv("CHAOS_SOAK_ARTIFACT")
+	seeder := rand.New(rand.NewSource(time.Now().UnixNano()))
+	deadline := time.Now().Add(d)
+	for n := 0; time.Now().Before(deadline); n++ {
+		seed := seeder.Int63()
+		if !runSeed(seed) && artifact != "" {
+			f, err := os.OpenFile(artifact, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Errorf("recording failing seed %d: %v", seed, err)
+				continue
+			}
+			fmt.Fprintf(f, "%d\n", seed)
+			f.Close()
+		}
+	}
+}
+
+// soakTally is one run's client-side observation of the allowed response
+// classes; anything outside them is recorded as a failure string.
+type soakTally struct {
+	mu        sync.Mutex
+	ok        int
+	shed      int
+	timeouts  int
+	panics500 int
+	transport int
+	failures  []string
+}
+
+func (s *soakTally) fail(format string, a ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failures = append(s.failures, fmt.Sprintf(format, a...))
+}
+
+func (s *soakTally) add(f func(*soakTally)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s)
+}
+
+func soakOnce(t *testing.T, g *hybrid.Graph, oracle *hybrid.APSPResult, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	plan := chaos.Draw(rng, soakSpace(oracle.Metrics.Rounds))
+	restore := persist.SetFS(plan.FS())
+	defer restore()
+	cacheDir := t.TempDir()
+
+	// Phase 1: initial build on the distributed engine under the plan's
+	// frame faults, with the hardening knobs engaged (respawn budget at
+	// its default, a generous run deadline that must NOT trip).
+	distOpts := dist.WithFaults(plan.Dist())
+	distOpts.RunTimeout = 2 * time.Minute
+	buildNet := hybrid.New(g, hybrid.WithSeed(42), hybrid.WithEngine(hybrid.EngineDist),
+		hybrid.WithWorkers(2), hybrid.WithDistOptions(distOpts), hybrid.WithCacheDir(cacheDir))
+	res, err := buildNet.APSP()
+	if err != nil {
+		t.Fatalf("dist build under faults: %v", err)
+	}
+	if !reflect.DeepEqual(res.Dist, oracle.Dist) {
+		t.Fatal("dist build under faults diverged from the fault-free oracle")
+	}
+	// The save runs through the fault FS: an outright write/sync failure
+	// is reported (and tolerated — the server just stays cold-rebuilding),
+	// while a torn write "succeeds" here and must be rejected at load.
+	if err := buildNet.SaveCache(); err != nil {
+		t.Logf("save under chaos failed (tolerated): %v", err)
+	}
+	tb, err := serve.NewTables(g, res.Dist, res.NextHops(g), serve.BuildInfo{
+		Graph: "grid6x6", Seed: 42, Engine: "dist", Rounds: res.Metrics.Rounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: resident server with the full resilience chain and the
+	// chaos hook installed. The rebuild warm-starts from the (possibly
+	// torn) cache — a rejected cache means a cold rebuild, never an error.
+	srv := serve.New(tb)
+	srv.SetChaos(plan)
+	srv.SetMaxInflight(2)
+	srv.SetRequestTimeout(time.Second)
+	srv.SetRebuild(func() (*serve.Tables, error) {
+		n := hybrid.New(g, hybrid.WithSeed(42), hybrid.WithCacheDir(cacheDir))
+		if _, err := n.LoadCache(); err != nil {
+			t.Logf("reload found unusable cache (rebuilding cold): %v", err)
+		}
+		r, err := n.APSP()
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewTables(g, r.Dist, r.NextHops(g), serve.BuildInfo{
+			Graph: "grid6x6", Seed: 42, Engine: "reload", Rounds: r.Metrics.Rounds,
+		})
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       30 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Phase 3: concurrent traffic (deterministic query list, every 4th a
+	// route walk) validated response by response against the oracle,
+	// with reloads fired mid-flight from the main goroutine.
+	n := g.N()
+	const workers, totalQueries = 6, 180
+	queries := make([][2]int, totalQueries)
+	for i := range queries {
+		queries[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	tally := &soakTally{}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			defer client.CloseIdleConnections()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				soakQuery(client, base, queries[i], i%4 == 0, oracle, tally)
+			}
+		}()
+	}
+
+	// Mid-traffic reloads: the plan may have scripted up to one rebuild
+	// failure; when it fires, the server must be degraded-but-answering,
+	// and the next reload must clear it.
+	client := &http.Client{Timeout: 30 * time.Second}
+	for attempt := 0; ; attempt++ {
+		status, body := soakPost(t, client, base+"/admin/reload")
+		if status == http.StatusOK {
+			break
+		}
+		if status != http.StatusInternalServerError || !strings.Contains(body, "injected rebuild failure") {
+			t.Fatalf("reload attempt %d: status %d body %q", attempt, status, body)
+		}
+		assertDegradedButAnswering(t, client, base, oracle, tally)
+		if attempt >= 3 {
+			t.Fatal("reload kept failing past the scripted fault budget")
+		}
+	}
+	wg.Wait()
+
+	// Phase 4: forced degraded mode, deterministically, whatever the draw
+	// scripted: one more rebuild failure, then recovery.
+	plan.FailRebuilds(1)
+	if status, body := soakPost(t, client, base+"/admin/reload"); status != http.StatusInternalServerError {
+		t.Fatalf("reload with forced fault: status %d body %q, want 500", status, body)
+	}
+	assertDegradedButAnswering(t, client, base, oracle, tally)
+	if status, body := soakPost(t, client, base+"/admin/reload"); status != http.StatusOK {
+		t.Fatalf("recovery reload: status %d body %q, want 200", status, body)
+	}
+	if status, body := soakGet(t, client, base+"/healthz"); status != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz after recovery: status %d body %q", status, body)
+	}
+
+	// Phase 5: the ledger must balance. Client-side observations of each
+	// allowed class match the server's own counters, and nothing outside
+	// the allowed classes was ever seen.
+	tally.mu.Lock()
+	failures, ok, shed, timeouts, panics500 := tally.failures, tally.ok, tally.shed, tally.timeouts, tally.panics500
+	transport := tally.transport
+	tally.mu.Unlock()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	var stats serve.StatsResponse
+	if status, body := soakGet(t, client, base+"/stats"); status != http.StatusOK {
+		t.Fatalf("/stats: status %d body %q", status, body)
+	} else if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("/stats decode: %v", err)
+	}
+	if stats.Panics != int64(panics500) {
+		t.Errorf("server counted %d panics, clients observed %d recovery 500s", stats.Panics, panics500)
+	}
+	if stats.LoadShed != int64(shed) {
+		t.Errorf("server counted %d shed requests, clients observed %d 429s", stats.LoadShed, shed)
+	}
+	if stats.Degraded || stats.LastReloadError != "" {
+		t.Errorf("stats still degraded after recovery: %+v", stats)
+	}
+	if stats.ReloadFailures < 1 {
+		t.Errorf("reload failures = %d, want >= 1 (phase 4 forced one)", stats.ReloadFailures)
+	}
+	if ok == 0 {
+		t.Error("no query ever got a well-formed 200")
+	}
+	cs := plan.Stats()
+	t.Logf("seed %d: faults fired=%d (dist %+v) ok=%d shed=%d timeouts=%d panic500=%d transport=%d",
+		seed, cs.Total(), cs.Dist, ok, shed, timeouts, panics500, transport)
+
+	// Phase 6: graceful drain — Shutdown completes and Serve reports the
+	// sanctioned closure.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// soakQuery fires one /distance or /route request, classifies the outcome
+// into the allowed response classes (updating the tally so client-side
+// observations stay reconcilable with the server's counters), and returns
+// the class — "ok", "shed", "timeout", "panic", "transport", or "fail".
+// Every 200 is validated against the oracle byte for byte.
+func soakQuery(client *http.Client, base string, q [2]int, route bool, oracle *hybrid.APSPResult, tally *soakTally) string {
+	endpoint := "/distance"
+	if route {
+		endpoint = "/route"
+	}
+	url := fmt.Sprintf("%s%s?s=%d&t=%d", base, endpoint, q[0], q[1])
+	resp, err := client.Get(url)
+	if err != nil {
+		// Injected connection resets surface as transport errors; that is
+		// the one fault class with no HTTP status to validate.
+		tally.add(func(s *soakTally) { s.transport++ })
+		return "transport"
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		tally.add(func(s *soakTally) { s.transport++ })
+		return "transport"
+	}
+	want := oracle.Dist[q[0]][q[1]]
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if route {
+			var rr serve.RouteResponse
+			if err := json.Unmarshal(body, &rr); err != nil || rr.Unreachable || rr.Weight != want {
+				tally.fail("%s: 200 body %q does not match oracle weight %d (err %v)", url, body, want, err)
+				return "fail"
+			}
+		} else {
+			var dr serve.DistanceResponse
+			if err := json.Unmarshal(body, &dr); err != nil || dr.Unreachable || dr.Distance != want {
+				tally.fail("%s: 200 body %q does not match oracle distance %d (err %v)", url, body, want, err)
+				return "fail"
+			}
+		}
+		tally.add(func(s *soakTally) { s.ok++ })
+		return "ok"
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			tally.fail("%s: 429 without Retry-After", url)
+			return "fail"
+		}
+		tally.add(func(s *soakTally) { s.shed++ })
+		return "shed"
+	case http.StatusServiceUnavailable:
+		if !strings.Contains(string(body), "request timed out") {
+			tally.fail("%s: unexpected 503 body %q", url, body)
+			return "fail"
+		}
+		tally.add(func(s *soakTally) { s.timeouts++ })
+		return "timeout"
+	case http.StatusInternalServerError:
+		if !strings.Contains(string(body), "internal error") {
+			tally.fail("%s: unexpected 500 body %q", url, body)
+			return "fail"
+		}
+		tally.add(func(s *soakTally) { s.panics500++ })
+		return "panic"
+	default:
+		tally.fail("%s: disallowed status %d body %q", url, resp.StatusCode, body)
+		return "fail"
+	}
+}
+
+// assertDegradedButAnswering pins the degraded-mode contract: /healthz
+// reports it (still 200 — the replica works), and a query is answered
+// oracle-correct from the last-good tables. The query may be called while
+// chaos traffic is still flying, so it retries through the allowed fault
+// classes (shed, timeout, injected panic, reset) until a well-formed 200
+// arrives — the fault budgets are finite, so one must.
+func assertDegradedButAnswering(t *testing.T, client *http.Client, base string, oracle *hybrid.APSPResult, tally *soakTally) {
+	t.Helper()
+	status, body := soakGet(t, client, base+"/healthz")
+	if status != http.StatusOK || !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("healthz during degraded mode: status %d body %q", status, body)
+	}
+	for attempt := 0; attempt < 100; attempt++ {
+		switch soakQuery(client, base, [2]int{0, 1}, false, oracle, tally) {
+		case "ok":
+			return
+		case "fail":
+			t.Fatal("degraded-mode query answered outside the allowed classes (failure recorded in tally)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("degraded-mode query never got a well-formed 200")
+}
+
+func soakGet(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func soakPost(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}

@@ -90,6 +90,18 @@ type Options struct {
 	// version-bumped peers; operators can pin a version during a rolling
 	// upgrade.
 	ProtoMin, ProtoMax int
+	// MaxRespawns is the total respawn/re-dial budget across the whole
+	// run, all shards combined: past it the run aborts with a clear
+	// "worker flapping" error instead of respawning forever (default 8;
+	// negative: unlimited). It is a soft bound under concurrent failures —
+	// parallel shards may overshoot by one or two — but a flapping worker
+	// burns through it within a round or two either way.
+	MaxRespawns int
+	// RunTimeout is the overall wall-clock deadline for the run: past it
+	// every round trip aborts non-retryably (0: no deadline). It bounds
+	// the worst case of per-frame timeouts × retries × respawns stacking
+	// into an effectively hung run.
+	RunTimeout time.Duration
 }
 
 // WithFaults returns an Options carrying the given fault plan — the
@@ -101,6 +113,7 @@ const (
 	defaultRetries        = 4
 	defaultBackoff        = 2 * time.Millisecond
 	defaultHeartbeatEvery = 500 * time.Millisecond
+	defaultMaxRespawns    = 8
 	handshakeTimeout      = 10 * time.Second
 	shutdownGrace         = 3 * time.Second
 
@@ -161,6 +174,9 @@ func resolveOptions(v any) (Options, error) {
 	}
 	if o.HeartbeatEvery == 0 {
 		o.HeartbeatEvery = defaultHeartbeatEvery
+	}
+	if o.MaxRespawns == 0 {
+		o.MaxRespawns = defaultMaxRespawns
 	}
 	if o.Window < 1 {
 		o.Window = 1
@@ -278,6 +294,19 @@ type Router struct {
 
 	respawns atomic.Int64
 	closed   atomic.Bool
+
+	// deadline is the absolute RunTimeout cutoff (zero: none), fixed at
+	// New so retries and respawns cannot stretch a run unboundedly.
+	deadline time.Time
+}
+
+// deadlineExceeded reports a non-retryable error once the run deadline
+// has passed.
+func (r *Router) deadlineExceeded() error {
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		return fmt.Errorf("dist: run deadline (%v) exceeded", r.opts.RunTimeout)
+	}
+	return nil
 }
 
 // New builds a Router for cfg: in spawn mode it opens the listener,
@@ -302,6 +331,9 @@ func New(cfg sim.DistRouterConfig) (*Router, error) {
 		window:    opts.Window,
 		slots:     make([]*slot, cfg.Workers),
 		pendingMu: make(map[int]joined),
+	}
+	if opts.RunTimeout > 0 {
+		r.deadline = time.Now().Add(opts.RunTimeout)
 	}
 	for k := range r.slots {
 		r.slots[k] = &slot{}
@@ -531,6 +563,9 @@ func (r *Router) handshake(w *worker) error {
 // window to it in order. Because workers are pure per-round functions,
 // the replay is byte-identical. The caller holds the slot's mu.
 func (r *Router) respawnLocked(sl *slot, k int) (*worker, error) {
+	if max := int64(r.opts.MaxRespawns); max > 0 && r.respawns.Load() >= max {
+		return nil, fmt.Errorf("dist: worker %d: respawn budget (%d) exhausted (worker flapping)", k, r.opts.MaxRespawns)
+	}
 	old := sl.w.Load()
 	old.kill()
 	if old != nil && old.waitCh != nil {
@@ -653,6 +688,9 @@ var emptyStats = wire.RoundStats{ViolDst: -1}
 func (r *Router) RouteRound(round int, outgoing [][]sim.GlobalMsg) ([][]sim.GlobalMsg, sim.DistRoundStats, error) {
 	if r.closed.Load() {
 		return nil, sim.DistRoundStats{}, errors.New("dist: router is closed")
+	}
+	if err := r.deadlineExceeded(); err != nil {
+		return nil, sim.DistRoundStats{}, err
 	}
 	if len(outgoing) != len(r.slots) {
 		return nil, sim.DistRoundStats{}, fmt.Errorf("dist: %d request batches for %d workers", len(outgoing), len(r.slots))
@@ -840,6 +878,9 @@ func (r *Router) collectLocked(sl *slot, k, round int) ([]sim.GlobalMsg, wire.Ro
 	req := sl.pending[0].req
 	var lastErr error
 	for attempt := 1; attempt <= r.opts.Retries; attempt++ {
+		if err := r.deadlineExceeded(); err != nil {
+			return nil, wire.RoundStats{}, err
+		}
 		w := sl.w.Load()
 		if attempt > 1 {
 			time.Sleep(backoffDelay(r.opts.Backoff, attempt-1))

@@ -409,3 +409,79 @@ func TestResolveOptions(t *testing.T) {
 		t.Fatalf("negative heartbeat must survive resolution, got %+v, %v", o, err)
 	}
 }
+
+// TestDistRespawnBudgetExhausted kills the worker at every round so each
+// respawned process is killed again on its next send: with a budget of 2
+// the run must abort with the flapping error instead of respawning
+// forever.
+func TestDistRespawnBudgetExhausted(t *testing.T) {
+	g := graph.Path(12)
+	faults := NewFaults()
+	for round := 0; round < 40; round++ {
+		faults.KillWorker(0, round)
+	}
+	opts := &Options{Faults: faults, FrameTimeout: 50 * time.Millisecond, Retries: 8, MaxRespawns: 2}
+	out := make([]int64, g.N())
+	_, err := sim.Run(g, sim.Config{
+		Seed: 3, Engine: sim.EngineDist, DistWorkers: 1, DistOpts: opts,
+	}, chatter(out))
+	if err == nil {
+		t.Fatal("want respawn-budget error, got success")
+	}
+	if !strings.Contains(err.Error(), "respawn budget (2) exhausted") {
+		t.Fatalf("err = %v, want respawn-budget exhaustion", err)
+	}
+	if st := faults.Stats(); st.Respawns != 2 {
+		t.Fatalf("plan reports %d respawns, want exactly the budget of 2", st.Respawns)
+	}
+}
+
+// TestDistRespawnBudgetUnlimited pins the negative-means-unlimited
+// contract: a plan with more kills than the default budget still
+// completes byte-identically when MaxRespawns is negative.
+func TestDistRespawnBudgetUnlimited(t *testing.T) {
+	g := graph.Path(10)
+	wantOut, wantM := runChatter(t, g, sim.Config{Seed: 5, Engine: sim.EngineLegacy})
+
+	faults := NewFaults().KillWorker(0, 2).KillWorker(0, 4).KillWorker(0, 6)
+	opts := &Options{Faults: faults, MaxRespawns: -1}
+	out, m := runChatter(t, g, sim.Config{
+		Seed: 5, Engine: sim.EngineDist, DistWorkers: 1, DistOpts: opts,
+	})
+	if !reflect.DeepEqual(wantOut, out) {
+		t.Fatal("results differ from clean run under repeated kills")
+	}
+	if wantM != m {
+		t.Fatalf("metrics differ under repeated kills:\nlegacy %+v\ndist   %+v", wantM, m)
+	}
+	if st := faults.Stats(); st.Respawns != 3 {
+		t.Fatalf("plan reports %d respawns, want 3", st.Respawns)
+	}
+}
+
+// TestDistRunDeadline pins the overall run deadline: an already-expired
+// deadline aborts the first round non-retryably, and a generous one
+// leaves a clean run byte-identical.
+func TestDistRunDeadline(t *testing.T) {
+	g := graph.Path(10)
+	out := make([]int64, g.N())
+	_, err := sim.Run(g, sim.Config{
+		Seed: 5, Engine: sim.EngineDist, DistWorkers: 1,
+		DistOpts: &Options{RunTimeout: time.Nanosecond},
+	}, chatter(out))
+	if err == nil {
+		t.Fatal("want run-deadline error, got success")
+	}
+	if !strings.Contains(err.Error(), "run deadline") {
+		t.Fatalf("err = %v, want run-deadline failure", err)
+	}
+
+	wantOut, wantM := runChatter(t, g, sim.Config{Seed: 5, Engine: sim.EngineLegacy})
+	got, m := runChatter(t, g, sim.Config{
+		Seed: 5, Engine: sim.EngineDist, DistWorkers: 1,
+		DistOpts: &Options{RunTimeout: 5 * time.Minute},
+	})
+	if !reflect.DeepEqual(wantOut, got) || wantM != m {
+		t.Fatal("generous deadline perturbed a clean run")
+	}
+}

@@ -3,9 +3,16 @@
 // magic tag, a format version, and the payload's length and FNV-64a
 // checksum, so a reader can reject foreign files, files written by an
 // incompatible release, and bit-rotted or truncated files *before* feeding
-// bytes to gob. Writes go through a temp file and an atomic rename, so a
-// crashed writer never leaves a half-written cache behind — at worst the
+// bytes to gob. Writes go through a temp file, an fsync of that file, an
+// atomic rename, and an fsync of the parent directory, so a crashed
+// writer never leaves a half-written cache behind and a crashed *machine*
+// cannot rename a file whose bytes never reached the disk — at worst the
 // old file survives.
+//
+// All filesystem access goes through the FS seam (SetFS), so the chaos
+// test layer can inject torn writes, failed renames, and failed fsyncs;
+// the integrity header is what turns any of those into a detected
+// ErrCorrupt and a clean cold start instead of silent corruption.
 //
 // The package is deliberately schema-agnostic: callers own the payload
 // types and the version constant. Bumping the version is the only
@@ -24,7 +31,98 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
+
+// FS is the filesystem seam the write path runs through. The default (OS)
+// talks to the real filesystem with full durability (fsync before and
+// after the rename); tests swap in a fault-injecting implementation via
+// SetFS to simulate torn writes, failed renames, and failed syncs.
+type FS interface {
+	// MkdirAll creates the cache directory chain.
+	MkdirAll(path string, perm os.FileMode) error
+	// WriteFileSync writes data to path and syncs it to stable storage
+	// before returning: a success means the bytes are on disk, not just in
+	// the page cache.
+	WriteFileSync(path string, data []byte, perm os.FileMode) error
+	// Rename atomically installs the synced temp file.
+	Rename(oldpath, newpath string) error
+	// SyncDir syncs the directory containing a just-renamed file, making
+	// the rename itself durable.
+	SyncDir(path string) error
+	// Remove cleans up a temp file after a failed install.
+	Remove(path string) error
+}
+
+// OS is the default FS: the real filesystem, with the temp file fsynced
+// before the rename and the parent directory fsynced after it.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// WriteFileSync implements FS: write, fsync, close.
+func (OS) WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// SyncDir implements FS: fsync the directory so the rename is durable.
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// fsSeam holds the active FS boxed in a struct (atomic.Value demands one
+// consistent concrete type); nil means OS{}. Atomic so a concurrent
+// reader (a reload saving the cache) never observes a torn swap.
+var fsSeam atomic.Value // of fsBox
+
+type fsBox struct{ fs FS }
+
+// activeFS returns the FS the write path should use.
+func activeFS() FS {
+	if v := fsSeam.Load(); v != nil {
+		return v.(fsBox).fs
+	}
+	return OS{}
+}
+
+// SetFS swaps the filesystem seam (nil restores the default) and returns
+// a function restoring the previous one — tests defer it.
+func SetFS(f FS) (restore func()) {
+	prev := activeFS()
+	if f == nil {
+		f = OS{}
+	}
+	fsSeam.Store(fsBox{f})
+	return func() { fsSeam.Store(fsBox{prev}) }
+}
 
 // magic tags every cache file written by this package.
 var magic = [4]byte{'H', 'Y', 'W', 'C'} // HYbrid Warm Cache
@@ -73,7 +171,8 @@ func SaveCompressed(path string, version uint32, payload interface{}) error {
 }
 
 // writeFile frames body with the integrity header and installs it at path
-// atomically (temp file + rename), creating parent directories as needed.
+// atomically and durably: synced temp file, rename, synced parent
+// directory. Parent directories are created as needed.
 func writeFile(path string, version uint32, body []byte) error {
 	h := fnv.New64a()
 	h.Write(body)
@@ -85,16 +184,22 @@ func writeFile(path string, version uint32, body []byte) error {
 	binary.LittleEndian.PutUint64(out[16:24], h.Sum64())
 	out = append(out, body...)
 
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	fs := activeFS()
+	dir := filepath.Dir(path)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("persist: creating cache directory: %w", err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+	if err := fs.WriteFileSync(tmp, out, 0o644); err != nil {
+		fs.Remove(tmp)
 		return fmt.Errorf("persist: writing cache file: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return fmt.Errorf("persist: installing cache file: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("persist: syncing cache directory: %w", err)
 	}
 	return nil
 }

@@ -310,3 +310,122 @@ func TestUnpackSortedOverflow(t *testing.T) {
 		t.Error("delta beyond a maxInt element accepted")
 	}
 }
+
+// recordFS wraps OS and records the seam calls writeFile makes, optionally
+// failing a chosen call.
+type recordFS struct {
+	inner OS
+	calls *[]string
+	fail  string // name of the call to fail, "" for none
+}
+
+func (r recordFS) note(call string) error {
+	*r.calls = append(*r.calls, call)
+	if r.fail == call {
+		return errors.New("injected " + call + " failure")
+	}
+	return nil
+}
+
+func (r recordFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := r.note("mkdir:" + filepath.Base(path)); err != nil {
+		return err
+	}
+	return r.inner.MkdirAll(path, perm)
+}
+
+func (r recordFS) WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	if err := r.note("write:" + filepath.Base(path)); err != nil {
+		return err
+	}
+	return r.inner.WriteFileSync(path, data, perm)
+}
+
+func (r recordFS) Rename(oldpath, newpath string) error {
+	if err := r.note("rename:" + filepath.Base(oldpath) + "->" + filepath.Base(newpath)); err != nil {
+		return err
+	}
+	return r.inner.Rename(oldpath, newpath)
+}
+
+func (r recordFS) SyncDir(path string) error {
+	if err := r.note("syncdir:" + filepath.Base(path)); err != nil {
+		return err
+	}
+	return r.inner.SyncDir(path)
+}
+
+func (r recordFS) Remove(path string) error {
+	*r.calls = append(*r.calls, "remove:"+filepath.Base(path))
+	return r.inner.Remove(path)
+}
+
+// TestWriteFileDurabilityOrder pins the crash-safe write sequence: the temp
+// file is written-and-synced before the rename, and the parent directory is
+// synced after it, so a machine crash at any point leaves either the old
+// file or the complete new one.
+func TestWriteFileDurabilityOrder(t *testing.T) {
+	var calls []string
+	restore := SetFS(recordFS{calls: &calls})
+	defer restore()
+
+	path := filepath.Join(t.TempDir(), "sub", "cache.hybc")
+	if err := Save(path, 1, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mkdir:sub", "write:cache.hybc.tmp", "rename:cache.hybc.tmp->cache.hybc", "syncdir:sub"}
+	if !reflect.DeepEqual(calls, want) {
+		t.Errorf("write sequence:\n got %v\nwant %v", calls, want)
+	}
+	var got payload
+	if err := Load(path, 1, &got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteFileFaultCleanup pins the failure paths: a failed write or
+// rename removes the temp file and surfaces the injected error; a failed
+// directory sync surfaces too (the data may not survive a crash).
+func TestWriteFileFaultCleanup(t *testing.T) {
+	for _, fail := range []string{
+		"write:cache.hybc.tmp",
+		"rename:cache.hybc.tmp->cache.hybc",
+		"syncdir:sub",
+	} {
+		var calls []string
+		restore := SetFS(recordFS{calls: &calls, fail: fail})
+		path := filepath.Join(t.TempDir(), "sub", "cache.hybc")
+		err := Save(path, 1, samplePayload())
+		restore()
+		if err == nil {
+			t.Errorf("fail %s: Save succeeded", fail)
+			continue
+		}
+		if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+			t.Errorf("fail %s: temp file left behind", fail)
+		}
+	}
+}
+
+// TestSetFSRestore pins the seam contract: the restore closure reinstates
+// the previous FS, and SetFS(nil) means the real filesystem.
+func TestSetFSRestore(t *testing.T) {
+	var calls []string
+	restore := SetFS(recordFS{calls: &calls})
+	restore2 := SetFS(nil)
+	path := filepath.Join(t.TempDir(), "cache.hybc")
+	if err := Save(path, 1, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 0 {
+		t.Errorf("SetFS(nil) still routed through the recording FS: %v", calls)
+	}
+	restore2()
+	if err := Save(path, 1, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Error("restore did not reinstate the recording FS")
+	}
+	restore()
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,17 +56,22 @@ type Query struct {
 
 // LevelResult aggregates one concurrency level's replay.
 type LevelResult struct {
-	Concurrency     int     `json:"concurrency"`
-	Queries         int     `json:"queries"`
-	DistanceQueries int     `json:"distance_queries"`
-	RouteQueries    int     `json:"route_queries"`
-	Unreachable     int     `json:"unreachable"`
-	Errors          int     `json:"errors"`
-	WallMS          float64 `json:"wall_ms"`
-	QPS             float64 `json:"qps"`
-	P50us           float64 `json:"p50_us"`
-	P95us           float64 `json:"p95_us"`
-	P99us           float64 `json:"p99_us"`
+	Concurrency     int `json:"concurrency"`
+	Queries         int `json:"queries"`
+	DistanceQueries int `json:"distance_queries"`
+	RouteQueries    int `json:"route_queries"`
+	Unreachable     int `json:"unreachable"`
+	Errors          int `json:"errors"`
+	// Shed429 counts load-shed (429) responses that were retried: each one
+	// is a server-side rejection the harness absorbed by backing off, so a
+	// run against an overloaded-but-honest server still completes with
+	// zero Errors.
+	Shed429 int     `json:"shed_429"`
+	WallMS  float64 `json:"wall_ms"`
+	QPS     float64 `json:"qps"`
+	P50us   float64 `json:"p50_us"`
+	P95us   float64 `json:"p95_us"`
+	P99us   float64 `json:"p99_us"`
 }
 
 // Report is the BENCH_serve.json schema: the build identity of the server
@@ -139,8 +145,32 @@ func Run(cfg Config) ([]LevelResult, error) {
 // workerStats is one worker's private tally, merged after the level ends
 // so the hot loop shares nothing but the query cursor.
 type workerStats struct {
-	distance, route, unreachable, errs int
-	latencies                          []time.Duration
+	distance, route, unreachable, errs, shed int
+	latencies                                []time.Duration
+}
+
+// shedRetries bounds how often one query is retried through 429 load
+// shedding before it counts as an error.
+const shedRetries = 5
+
+// shedBackoff is the pause before retrying a shed query: the server's
+// Retry-After when it parses, otherwise a small linear backoff — capped
+// at 50ms either way so a bench against a shedding server backs off
+// without stalling for full Retry-After seconds.
+func shedBackoff(retryAfter string, attempt int) time.Duration {
+	const cap = 50 * time.Millisecond
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		d := time.Duration(secs) * time.Second
+		if d > cap {
+			d = cap
+		}
+		return d
+	}
+	d := time.Duration(attempt+1) * 2 * time.Millisecond
+	if d > cap {
+		d = cap
+	}
+	return d
 }
 
 func runLevel(cfg Config, seq []Query, concurrency int) (LevelResult, error) {
@@ -171,7 +201,19 @@ func runLevel(cfg Config, seq []Query, concurrency int) (LevelResult, error) {
 				}
 				url := fmt.Sprintf("%s%s?s=%d&t=%d", cfg.BaseURL, endpoint, q.S, q.T)
 				t0 := time.Now()
-				resp, err := client.Get(url)
+				var resp *http.Response
+				var err error
+				for attempt := 0; ; attempt++ {
+					resp, err = client.Get(url)
+					if err != nil || resp.StatusCode != http.StatusTooManyRequests || attempt >= shedRetries {
+						break
+					}
+					retryAfter := resp.Header.Get("Retry-After")
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					ws.shed++
+					time.Sleep(shedBackoff(retryAfter, attempt))
+				}
 				lat := time.Since(t0)
 				if err != nil {
 					ws.errs++
@@ -214,6 +256,7 @@ func runLevel(cfg Config, seq []Query, concurrency int) (LevelResult, error) {
 		res.RouteQueries += ws.route
 		res.Unreachable += ws.unreachable
 		res.Errors += ws.errs
+		res.Shed429 += ws.shed
 		all = append(all, ws.latencies...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })

@@ -8,12 +8,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	hybrid "repro"
@@ -224,5 +226,59 @@ func jsonPaths(prefix string, v any) []string {
 		return out
 	default:
 		return []string{fmt.Sprintf("%s", prefix)}
+	}
+}
+
+// TestReplayRetries429 pins the load-shed handling: 429 responses are
+// retried with backoff (honoring Retry-After) and counted in Shed429, so
+// a replay against an overloaded-but-honest server completes with zero
+// errors and full aggregate counts.
+func TestReplayRetries429(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Every third request is shed; its retry succeeds.
+		if hits.Add(1)%3 == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"server overloaded, retry later"}`))
+			return
+		}
+		w.Write([]byte(`{"s":0,"t":1,"distance":1,"unreachable":false}`))
+	}))
+	defer ts.Close()
+
+	res, err := replay.Run(replay.Config{
+		BaseURL: ts.URL, N: 8, Queries: 30, Levels: []int{2}, Seed: 1, RouteEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := res[0]
+	if lr.Errors != 0 {
+		t.Errorf("shed run reported %d errors, want 0", lr.Errors)
+	}
+	if lr.Shed429 == 0 {
+		t.Error("no 429s counted despite the server shedding")
+	}
+	if lr.DistanceQueries+lr.RouteQueries != 30 {
+		t.Errorf("only %d+%d of 30 queries completed", lr.DistanceQueries, lr.RouteQueries)
+	}
+}
+
+// TestReplayShedExhaustion pins the bound: a server that ALWAYS sheds
+// eventually fails the run instead of retrying forever.
+func TestReplayShedExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	_, err := replay.Run(replay.Config{BaseURL: ts.URL, N: 8, Queries: 4, Levels: []int{1}, Seed: 1})
+	if err == nil {
+		t.Fatal("permanently shedding server did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "429") {
+		t.Errorf("err = %v, want a 429 status failure", err)
 	}
 }

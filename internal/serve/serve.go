@@ -92,10 +92,77 @@ type Server struct {
 	reloadMu  sync.Mutex
 	reloads   atomic.Int64
 
+	// Degraded mode: a failed Reload keeps serving the last-good tables
+	// but flips degraded and records the error, so /healthz and /stats
+	// report the condition while queries keep being answered.
+	degraded       atomic.Bool
+	lastReloadErr  atomic.Value // of string
+	reloadFailures atomic.Int64
+
+	// Resilience knobs (Handler middleware reads these per request, so
+	// they can be set before or after the handler is built).
+	maxInflight    atomic.Int64 // 0 = unlimited
+	inflight       atomic.Int64
+	requestTimeout atomic.Int64 // nanoseconds; 0 = no deadline
+	chaos          atomic.Value // of chaosBox
+
 	distanceQueries atomic.Int64
 	routeQueries    atomic.Int64
 	unreachable     atomic.Int64
 	badRequests     atomic.Int64
+	panics          atomic.Int64
+	loadShed        atomic.Int64
+	timeouts        atomic.Int64
+}
+
+// ChaosHook is the seam the chaos test layer injects faults through. It
+// is deliberately a tuple-of-primitives interface so internal/chaos can
+// satisfy it structurally without this package importing it (chaos
+// already imports dist and persist; a serve import would tangle the
+// graph). HTTPFault is consulted once per request with the URL path and
+// reports injected latency, a forced connection reset, and a forced
+// handler panic; RebuildFault is consulted by Reload before the real
+// rebuild runs.
+type ChaosHook interface {
+	HTTPFault(path string) (delay time.Duration, reset, panics bool)
+	RebuildFault() error
+}
+
+// chaosBox wraps the hook so atomic.Value always stores one concrete type.
+type chaosBox struct{ hook ChaosHook }
+
+// SetChaos installs (or, with nil, removes) the fault-injection hook.
+func (s *Server) SetChaos(h ChaosHook) { s.chaos.Store(chaosBox{h}) }
+
+func (s *Server) chaosHook() ChaosHook {
+	if v := s.chaos.Load(); v != nil {
+		return v.(chaosBox).hook
+	}
+	return nil
+}
+
+// SetMaxInflight bounds concurrently served query requests; beyond it the
+// handler sheds load with 429 + Retry-After instead of queueing without
+// bound. n <= 0 means unlimited. /healthz and /admin/reload are exempt
+// (probes and operators must get through precisely when the server is
+// drowning).
+func (s *Server) SetMaxInflight(n int) { s.maxInflight.Store(int64(n)) }
+
+// SetRequestTimeout bounds the handler time of query requests; past it
+// the client gets 503 with a JSON error body. d <= 0 disables the
+// deadline. /admin/reload is exempt (a reload legitimately runs for the
+// length of an APSP build).
+func (s *Server) SetRequestTimeout(d time.Duration) { s.requestTimeout.Store(int64(d)) }
+
+// Degraded reports whether the last reload failed (the server still
+// answers from the last-good tables).
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+func (s *Server) lastReloadError() string {
+	if v := s.lastReloadErr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
 }
 
 // Reload errors. ErrNoRebuild means SetRebuild was never called;
@@ -147,6 +214,10 @@ func (s *Server) Reloads() int64 { return s.reloads.Load() }
 // the old generation for the entire rebuild; only one reload runs at a
 // time (a concurrent trigger gets ErrReloadBusy rather than queueing, so
 // a signal storm cannot stack APSP runs).
+//
+// A failed rebuild does NOT take the server down: the last-good tables
+// keep serving, the server enters degraded mode (visible on /healthz and
+// /stats with the error), and the next successful reload clears it.
 func (s *Server) Reload() (*Tables, error) {
 	s.rebuildMu.Lock()
 	rebuild := s.rebuild
@@ -158,12 +229,25 @@ func (s *Server) Reload() (*Tables, error) {
 		return nil, ErrReloadBusy
 	}
 	defer s.reloadMu.Unlock()
-	t, err := rebuild()
+	err := error(nil)
+	if hook := s.chaosHook(); hook != nil {
+		err = hook.RebuildFault()
+	}
+	var t *Tables
+	if err == nil {
+		t, err = rebuild()
+	}
 	if err != nil {
-		return nil, fmt.Errorf("serve: reload: %w", err)
+		err = fmt.Errorf("serve: reload: %w", err)
+		s.reloadFailures.Add(1)
+		s.lastReloadErr.Store(err.Error())
+		s.degraded.Store(true)
+		return nil, err
 	}
 	s.Publish(t)
 	s.reloads.Add(1)
+	s.degraded.Store(false)
+	s.lastReloadErr.Store("")
 	return t, nil
 }
 
@@ -178,6 +262,13 @@ func (s *Server) Reload() (*Tables, error) {
 //
 // Malformed or out-of-range s/t answer 400 with a JSON error body;
 // unreachable pairs are a 200 with "unreachable": true, never a 500.
+//
+// Query endpoints run behind the full resilience chain — panic recovery
+// (500 JSON, process survives), load shedding (429 + Retry-After past
+// SetMaxInflight), per-request deadline (503 past SetRequestTimeout), and
+// the chaos hook. /healthz and /admin/reload skip shedding and deadlines:
+// probes must get through under overload, and a reload legitimately runs
+// for the length of an APSP build; both still get panic recovery.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/distance", s.handleDistance)
@@ -185,7 +276,132 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/admin/reload", s.handleReload)
-	return mux
+
+	query := s.recoverMW(s.shedMW(s.timeoutMW(s.chaosMW(mux))))
+	control := s.recoverMW(s.chaosMW(mux))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/admin/reload":
+			control.ServeHTTP(w, r)
+		default:
+			query.ServeHTTP(w, r)
+		}
+	})
+}
+
+// recoverMW turns a handler panic into a 500 JSON response and a counted
+// stat instead of a dead process. http.ErrAbortHandler is re-panicked:
+// it is the sanctioned "tear down this connection" signal (the chaos
+// reset fault uses it) and net/http both expects and silences it.
+func (s *Server) recoverMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			// Best effort: if the handler already wrote headers this is a
+			// no-op and net/http cuts the connection mid-body, which the
+			// client sees as a malformed response — still no process death.
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shedMW bounds concurrently served requests: past the limit the client
+// gets an immediate 429 with Retry-After instead of queueing without
+// bound, so overload degrades into fast, honest rejections.
+func (s *Server) shedMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if max := s.maxInflight.Load(); max > 0 && n > max {
+			s.loadShed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server overloaded, retry later"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutBody is the exact 503 body http.TimeoutHandler writes on a
+// deadline; timeoutMW's recorder matches it to count timeouts (the only
+// other 503 a query endpoint produces — "tables not published yet" — has
+// a different body).
+const timeoutBody = `{"error":"request timed out"}`
+
+// timeoutRecorder counts deadline 503s written by http.TimeoutHandler.
+type timeoutRecorder struct {
+	http.ResponseWriter
+	srv    *Server
+	status int
+}
+
+func (t *timeoutRecorder) WriteHeader(code int) {
+	t.status = code
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *timeoutRecorder) Write(b []byte) (int, error) {
+	if t.status == http.StatusServiceUnavailable && string(b) == timeoutBody {
+		t.srv.timeouts.Add(1)
+	}
+	return t.ResponseWriter.Write(b)
+}
+
+// timeoutMW enforces the per-request deadline via http.TimeoutHandler,
+// which buffers handler writes so a timed-out handler racing the 503 can
+// never interleave bytes into the response (hand-rolled deadline writers
+// get exactly that race wrong). Content-Type is pre-set on the outer
+// header because TimeoutHandler's deadline path writes a raw body that
+// would otherwise be content-sniffed as text/plain.
+func (s *Server) timeoutMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := time.Duration(s.requestTimeout.Load())
+		if d <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rec := &timeoutRecorder{ResponseWriter: w, srv: s}
+		http.TimeoutHandler(next, d, timeoutBody).ServeHTTP(rec, r)
+	})
+}
+
+// chaosMW applies the injected HTTP faults: latency (cancellable by the
+// request context, so an injected delay still honors the deadline), a
+// connection reset (via http.ErrAbortHandler), or a handler panic (to
+// exercise recoverMW). With no hook installed it is a single atomic load.
+func (s *Server) chaosMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hook := s.chaosHook()
+		if hook == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		delay, reset, panics := hook.HTTPFault(r.URL.Path)
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+			}
+		}
+		if reset {
+			panic(http.ErrAbortHandler)
+		}
+		if panics {
+			panic("chaos: injected handler panic")
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // DistanceResponse is the /distance body.
@@ -219,6 +435,15 @@ type StatsResponse struct {
 	Unreachable     int64   `json:"unreachable"`
 	BadRequests     int64   `json:"bad_requests"`
 	Reloads         int64   `json:"reloads"`
+	// Resilience counters: recovered handler panics, 429-shed requests,
+	// deadline 503s, failed reloads, and the degraded flag with the last
+	// reload error (empty when healthy).
+	Panics          int64  `json:"panics"`
+	LoadShed        int64  `json:"load_shed"`
+	RequestTimeouts int64  `json:"request_timeouts"`
+	ReloadFailures  int64  `json:"reload_failures"`
+	Degraded        bool   `json:"degraded"`
+	LastReloadError string `json:"last_reload_error"`
 }
 
 type errorResponse struct {
@@ -338,6 +563,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.BuildInfo = tb.Info
 	}
 	resp.Reloads = s.reloads.Load()
+	resp.Panics = s.panics.Load()
+	resp.LoadShed = s.loadShed.Load()
+	resp.RequestTimeouts = s.timeouts.Load()
+	resp.ReloadFailures = s.reloadFailures.Load()
+	resp.Degraded = s.degraded.Load()
+	resp.LastReloadError = s.lastReloadError()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -376,9 +607,20 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz: 503 "starting" before the first tables, 200 "degraded"
+// with the last reload error while the last reload failed (still 200 —
+// the server IS answering queries from last-good tables, and a 503 here
+// would make load balancers evict a working replica), 200 "ok" otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.tables.Load() == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	if s.degraded.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"error":  s.lastReloadError(),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -6,16 +6,21 @@
 package serve_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	hybrid "repro"
+	"repro/internal/chaos"
 	"repro/internal/serve"
 )
 
@@ -485,5 +490,300 @@ func TestReloadBusy(t *testing.T) {
 	}
 	if srv.Reloads() != 1 {
 		t.Fatalf("reloads = %d, want 1", srv.Reloads())
+	}
+}
+
+// lineGraph builds the 4-node weighted path used by the hardening tests.
+func lineGraph() *hybrid.Graph {
+	g := hybrid.NewGraph(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, 5)
+	return g
+}
+
+// TestServePanicRecovery pins the recovery middleware driven through a
+// real chaos.Plan (which also proves the Plan satisfies serve.ChaosHook
+// structurally): the injected panic answers 500 JSON, the process and the
+// next request survive, and /stats counts it.
+func TestServePanicRecovery(t *testing.T) {
+	srv := serve.New(buildTables(t, lineGraph(), serve.BuildInfo{}))
+	srv.SetChaos(chaos.NewPlan().PanicRequests("/distance", 1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=3", &errResp); status != http.StatusInternalServerError {
+		t.Fatalf("panicked request: status %d, want 500", status)
+	}
+	if !strings.Contains(errResp.Error, "panic") {
+		t.Errorf("panicked request body: %+v", errResp)
+	}
+
+	var resp serve.DistanceResponse
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=3", &resp); status != http.StatusOK || resp.Distance != 10 {
+		t.Fatalf("request after panic: status %d resp %+v", status, resp)
+	}
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Panics != 1 {
+		t.Errorf("stats.Panics = %d, want 1", stats.Panics)
+	}
+}
+
+// blockingHook parks matching requests inside the handler until released,
+// so tests can hold requests in-flight deterministically.
+type blockingHook struct {
+	pathSub string
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockingHook(pathSub string) *blockingHook {
+	return &blockingHook{pathSub: pathSub, entered: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (h *blockingHook) HTTPFault(path string) (time.Duration, bool, bool) {
+	if strings.Contains(path, h.pathSub) {
+		h.entered <- struct{}{}
+		<-h.release
+	}
+	return 0, false, false
+}
+
+func (h *blockingHook) RebuildFault() error { return nil }
+
+// TestServeLoadShed pins the in-flight bound: with one request parked in
+// the handler and max-inflight 1, the next query answers 429 with a
+// Retry-After header, /healthz still answers (exempt), and releasing the
+// parked request restores service.
+func TestServeLoadShed(t *testing.T) {
+	srv := serve.New(buildTables(t, lineGraph(), serve.BuildInfo{}))
+	hook := newBlockingHook("/distance")
+	srv.SetChaos(hook)
+	srv.SetMaxInflight(1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer close(hook.release)
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/distance?s=0&t=1")
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-hook.entered
+
+	resp, err := http.Get(ts.URL + "/distance?s=0&t=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var health map[string]string
+	if status := getJSON(t, ts.URL+"/healthz", &health); status != http.StatusOK {
+		t.Errorf("/healthz shed under load: status %d", status)
+	}
+
+	hook.release <- struct{}{}
+	if status := <-done; status != http.StatusOK {
+		t.Fatalf("parked request finished with %d", status)
+	}
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.LoadShed < 1 {
+		t.Errorf("stats.LoadShed = %d, want >= 1", stats.LoadShed)
+	}
+}
+
+// TestServeRequestTimeout pins the per-request deadline: an injected
+// delay past the timeout answers 503 with the JSON timeout body (correct
+// Content-Type included), and /stats counts it.
+func TestServeRequestTimeout(t *testing.T) {
+	srv := serve.New(buildTables(t, lineGraph(), serve.BuildInfo{}))
+	srv.SetChaos(chaos.NewPlan().DelayRequests("/distance", 5*time.Second, 1))
+	srv.SetRequestTimeout(30 * time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	start := time.Now()
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=3", &errResp); status != http.StatusServiceUnavailable {
+		t.Fatalf("slow request: status %d, want 503", status)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, deadline not enforced", elapsed)
+	}
+	if errResp.Error != "request timed out" {
+		t.Errorf("timeout body: %+v", errResp)
+	}
+
+	var resp serve.DistanceResponse
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=3", &resp); status != http.StatusOK {
+		t.Fatalf("request after timeout: status %d", status)
+	}
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.RequestTimeouts != 1 {
+		t.Errorf("stats.RequestTimeouts = %d, want 1", stats.RequestTimeouts)
+	}
+}
+
+// TestServeConnectionReset pins the reset fault: the client observes a
+// torn connection (transport error), never a half-valid response, and the
+// server keeps serving.
+func TestServeConnectionReset(t *testing.T) {
+	srv := serve.New(buildTables(t, lineGraph(), serve.BuildInfo{}))
+	srv.SetChaos(chaos.NewPlan().ResetRequests("/distance", 1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/distance?s=0&t=1")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset request succeeded with status %d", resp.StatusCode)
+	}
+	var ok serve.DistanceResponse
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=1", &ok); status != http.StatusOK || ok.Distance != 2 {
+		t.Fatalf("request after reset: status %d resp %+v", status, ok)
+	}
+}
+
+// TestServeDegradedMode pins the last-good-tables contract: a failed
+// reload answers 500 on /admin/reload but queries keep working from the
+// old generation, /healthz and /stats report degraded + the error, and
+// the next successful reload clears the condition.
+func TestServeDegradedMode(t *testing.T) {
+	srv := serve.New(buildTables(t, lineGraph(), serve.BuildInfo{Rounds: 1}))
+	srv.SetRebuild(func() (*serve.Tables, error) {
+		return buildTables(t, lineGraph(), serve.BuildInfo{Rounds: 2}), nil
+	})
+	plan := chaos.NewPlan().FailRebuilds(1)
+	srv.SetChaos(plan)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed reload: status %d, want 500", resp.StatusCode)
+	}
+
+	var health map[string]string
+	if status := getJSON(t, ts.URL+"/healthz", &health); status != http.StatusOK {
+		t.Fatalf("/healthz while degraded: status %d, want 200", status)
+	}
+	if health["status"] != "degraded" || !strings.Contains(health["error"], "injected rebuild failure") {
+		t.Errorf("/healthz while degraded: %+v", health)
+	}
+	var dist serve.DistanceResponse
+	if status := getJSON(t, ts.URL+"/distance?s=0&t=3", &dist); status != http.StatusOK || dist.Distance != 10 {
+		t.Fatalf("degraded query: status %d resp %+v (last-good tables must keep serving)", status, dist)
+	}
+	var stats serve.StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if !stats.Degraded || stats.ReloadFailures != 1 || stats.LastReloadError == "" || stats.Rounds != 1 {
+		t.Errorf("degraded stats: %+v", stats)
+	}
+
+	// The fault budget is spent: the next reload succeeds and clears it.
+	resp, err = http.Post(ts.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery reload: status %d", resp.StatusCode)
+	}
+	if status := getJSON(t, ts.URL+"/healthz", &health); status != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("/healthz after recovery: status %d %+v", status, health)
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Degraded || stats.LastReloadError != "" || stats.Rounds != 2 {
+		t.Errorf("recovered stats: %+v", stats)
+	}
+}
+
+// TestServeGracefulDrain pins shutdown semantics on a real http.Server:
+// Shutdown waits for the in-flight request to complete (it still answers
+// 200), while new connections are refused once the drain begins.
+func TestServeGracefulDrain(t *testing.T) {
+	srv := serve.New(buildTables(t, lineGraph(), serve.BuildInfo{}))
+	hook := newBlockingHook("/distance")
+	srv.SetChaos(hook)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/distance?s=0&t=3")
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	<-hook.entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- httpSrv.Shutdown(ctx)
+	}()
+
+	// The listener closes promptly once Shutdown begins: new connections
+	// must be refused while the parked request is still in flight.
+	refused := false
+	for i := 0; i < 200; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			refused = true
+			break
+		}
+		conn.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new connections still accepted during drain")
+	}
+
+	hook.release <- struct{}{}
+	if status := <-inflight; status != http.StatusOK {
+		t.Fatalf("in-flight request during drain finished with %d, want 200", status)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
 	}
 }

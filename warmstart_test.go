@@ -8,6 +8,7 @@ package hybrid_test
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -18,6 +19,7 @@ import (
 	"testing"
 
 	hybrid "repro"
+	"repro/internal/chaos"
 	"repro/internal/persist"
 )
 
@@ -331,6 +333,55 @@ func TestCorruptCacheFallsBackCold(t *testing.T) {
 				t.Error("run after rejected cache differs from a never-cached cold run")
 			}
 		})
+	}
+}
+
+// TestChaosShortWriteFallsBackCold closes the crash-safety loop through the
+// chaos layer: a torn cache write (injected via the persist FS seam, the
+// moral equivalent of a crash between write and fsync) is reported as a
+// successful save, but the next LoadCache rejects the torn file and the
+// subsequent run is byte-identical to a never-cached cold run.
+func TestChaosShortWriteFallsBackCold(t *testing.T) {
+	g := hybrid.GridGraph(7, 7)
+	const seed = 42
+	freshCold, err := hybrid.New(g, hybrid.WithSeed(seed)).APSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	warm := hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithCacheDir(dir))
+	if _, err := warm.APSP(); err != nil {
+		t.Fatal(err)
+	}
+	plan := chaos.NewPlan().ShortWrites(".hybc", 10, 1)
+	restore := persist.SetFS(plan.FS())
+	if err := warm.SaveCache(); err != nil {
+		restore()
+		t.Fatalf("torn save must still report success (the crash happens after): %v", err)
+	}
+	restore()
+	if got := plan.Stats().ShortWrites; got != 1 {
+		t.Fatalf("short writes fired = %d, want 1", got)
+	}
+
+	net := hybrid.New(g, hybrid.WithSeed(seed), hybrid.WithCacheDir(dir))
+	status, err := net.LoadCache()
+	if err == nil {
+		t.Fatalf("torn cache accepted: status=%+v", status)
+	}
+	if !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("torn cache rejected as %v, want ErrCorrupt", err)
+	}
+	if status.Any() {
+		t.Errorf("torn cache restored sections: %+v", status)
+	}
+	res, err := net.APSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Dist, freshCold.Dist) || res.Metrics != freshCold.Metrics {
+		t.Error("run after torn cache differs from a never-cached cold run")
 	}
 }
 
